@@ -1,0 +1,74 @@
+"""B1 — selection: B-tree range plan vs feed-filter scan plan.
+
+For each selectivity, both plans answer the same model-level selection over
+the same B-tree-resident relation.  Expected shape: the range plan wins by a
+wide margin for selective predicates and converges towards the scan as the
+selectivity approaches 1 (it must read the same leaves).  Simulated page
+reads are attached as ``extra_info``.
+"""
+
+import pytest
+
+from benchmarks.helpers import build_spatial_system, selection_query
+from repro.storage.io import GLOBAL_PAGES
+
+N_CITIES = 4000
+SELECTIVITIES = [0.001, 0.01, 0.1, 0.5, 0.9]
+
+
+@pytest.fixture(scope="module")
+def system():
+    return build_spatial_system(n_cities=N_CITIES, n_states=1)
+
+
+def _scan_text(threshold_query: str) -> str:
+    # Rewrite the model query into the explicit scan plan.
+    threshold = threshold_query.split(">=")[1].strip().rstrip("]")
+    return f"query cities_rep feed filter[pop >= {threshold}] count"
+
+
+def _range_text(threshold_query: str) -> str:
+    threshold = threshold_query.split(">=")[1].strip().rstrip("]")
+    return f"query cities_rep range[{threshold}, top] count"
+
+
+def _run_counted(system, text):
+    before = GLOBAL_PAGES.stats.snapshot()
+    result = system.run_one(text)
+    io = GLOBAL_PAGES.stats.delta(before)
+    return result.value, io
+
+
+@pytest.mark.parametrize("selectivity", SELECTIVITIES)
+def test_btree_range_plan(benchmark, system, selectivity):
+    text = _range_text(selection_query(selectivity))
+    count, io = _run_counted(system, text)
+    benchmark.extra_info["page_reads"] = io.reads
+    benchmark.extra_info["rows"] = count
+    benchmark.extra_info["selectivity"] = selectivity
+    benchmark(lambda: system.run_one(text))
+
+
+@pytest.mark.parametrize("selectivity", SELECTIVITIES)
+def test_scan_filter_plan(benchmark, system, selectivity):
+    text = _scan_text(selection_query(selectivity))
+    count, io = _run_counted(system, text)
+    benchmark.extra_info["page_reads"] = io.reads
+    benchmark.extra_info["rows"] = count
+    benchmark.extra_info["selectivity"] = selectivity
+    benchmark(lambda: system.run_one(text))
+
+
+def test_selective_range_beats_scan_in_io(system):
+    """The shape claim behind the optimizer's choice: at 1% selectivity the
+    range plan touches far fewer pages than the scan."""
+    _, scan_io = _run_counted(system, _scan_text(selection_query(0.01)))
+    _, range_io = _run_counted(system, _range_text(selection_query(0.01)))
+    assert range_io.reads * 5 < scan_io.reads
+
+
+def test_plans_agree(system):
+    for selectivity in (0.01, 0.5):
+        a = system.run_one(_scan_text(selection_query(selectivity))).value
+        b = system.run_one(_range_text(selection_query(selectivity))).value
+        assert a == b

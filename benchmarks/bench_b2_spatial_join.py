@@ -1,0 +1,53 @@
+"""B2 — the spatial join of Sections 4/5: repeated scan vs LSD point search.
+
+Sweeps the number of cities (the outer relation) with the states tiling
+fixed.  Expected shape: the scan join is quadratic-ish (every outer tuple
+scans all states), the index join near-linear; the gap widens with size.
+"""
+
+import pytest
+
+from benchmarks.helpers import INDEX_JOIN, SCAN_JOIN, build_spatial_system
+from repro.storage.io import GLOBAL_PAGES
+
+SIZES = [200, 800, 2000]
+N_STATES = 256
+
+
+@pytest.fixture(scope="module", params=SIZES)
+def sized_system(request):
+    return request.param, build_spatial_system(
+        n_cities=request.param, n_states=N_STATES
+    )
+
+
+def test_scan_join(benchmark, sized_system):
+    n, system = sized_system
+    before = GLOBAL_PAGES.stats.snapshot()
+    count = system.run_one(SCAN_JOIN).value
+    benchmark.extra_info["page_reads"] = GLOBAL_PAGES.stats.delta(before).reads
+    benchmark.extra_info["n_cities"] = n
+    benchmark.extra_info["pairs"] = count
+    benchmark(lambda: system.run_one(SCAN_JOIN))
+
+
+def test_index_join(benchmark, sized_system):
+    n, system = sized_system
+    before = GLOBAL_PAGES.stats.snapshot()
+    count = system.run_one(INDEX_JOIN).value
+    benchmark.extra_info["page_reads"] = GLOBAL_PAGES.stats.delta(before).reads
+    benchmark.extra_info["n_cities"] = n
+    benchmark.extra_info["pairs"] = count
+    benchmark(lambda: system.run_one(INDEX_JOIN))
+
+
+def test_index_join_reads_fewer_pages(sized_system):
+    n, system = sized_system
+    before = GLOBAL_PAGES.stats.snapshot()
+    scan_count = system.run_one(SCAN_JOIN).value
+    scan_reads = GLOBAL_PAGES.stats.delta(before).reads
+    before = GLOBAL_PAGES.stats.snapshot()
+    index_count = system.run_one(INDEX_JOIN).value
+    index_reads = GLOBAL_PAGES.stats.delta(before).reads
+    assert scan_count == index_count == n  # tiling: one state per city
+    assert index_reads * 2 < scan_reads

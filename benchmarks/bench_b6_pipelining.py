@@ -1,0 +1,51 @@
+"""B6 — ablation: stream pipelining vs eager materialization.
+
+The paper's STREAM kind assumes pipelined execution.  This compares the same
+three-stage plan run fully pipelined against a variant with a ``collect``
+materialization barrier after every operator.  Expected shape: pipelining
+wins by a constant factor that grows with plan depth, and by much more when
+an early ``head`` makes laziness pay.
+"""
+
+import pytest
+
+from benchmarks.helpers import build_spatial_system
+
+PIPELINED = (
+    "query cities_rep feed filter[pop >= 100000] "
+    "project[<(n, cname), (k, fun (c: city) c pop div 1000)>] count"
+)
+MATERIALIZED = (
+    "query cities_rep feed collect feed filter[pop >= 100000] collect feed "
+    "project[<(n, cname), (k, fun (c: city) c pop div 1000)>] collect feed count"
+)
+PIPELINED_HEAD = (
+    "query cities_rep feed filter[pop >= 100000] head[10] count"
+)
+MATERIALIZED_HEAD = (
+    "query cities_rep feed collect feed filter[pop >= 100000] collect feed "
+    "head[10] count"
+)
+
+
+@pytest.fixture(scope="module")
+def system():
+    return build_spatial_system(n_cities=4000, n_states=1)
+
+
+def test_pipelined_plan(benchmark, system):
+    assert system.run_one(PIPELINED).value == system.run_one(MATERIALIZED).value
+    benchmark(lambda: system.run_one(PIPELINED))
+
+
+def test_materialized_plan(benchmark, system):
+    benchmark(lambda: system.run_one(MATERIALIZED))
+
+
+def test_pipelined_with_early_head(benchmark, system):
+    assert system.run_one(PIPELINED_HEAD).value == 10
+    benchmark(lambda: system.run_one(PIPELINED_HEAD))
+
+
+def test_materialized_with_early_head(benchmark, system):
+    benchmark(lambda: system.run_one(MATERIALIZED_HEAD))

@@ -1,0 +1,61 @@
+"""B7 — ablation: first-match rule order vs cost-based plan choice.
+
+The standard optimizer encodes plan preference in rule *order* (index rules
+first); this ablation deliberately reverses the order.  First-match then
+degrades to scan plans, while cost-based choice keeps producing index plans
+regardless of order — quantifying how much the heuristic ordering (or a
+cost model) is worth, and what the cost model itself costs.
+"""
+
+import pytest
+
+from benchmarks.helpers import build_spatial_system, selection_query
+from repro.optimizer.standard_rules import (
+    cost_based_optimizer,
+    misordered_optimizer,
+    standard_optimizer,
+)
+
+QUERY = selection_query(0.01)
+
+
+@pytest.fixture(scope="module")
+def system():
+    return build_spatial_system(n_cities=4000, n_states=4)
+
+
+def test_well_ordered_first_match(benchmark, system):
+    system.optimizer = standard_optimizer()
+    r = system.run_one(QUERY)
+    benchmark.extra_info["rules_fired"] = r.fired
+    benchmark(lambda: system.run_one(QUERY))
+
+
+def test_misordered_first_match(benchmark, system):
+    system.optimizer = misordered_optimizer()
+    r = system.run_one(QUERY)
+    assert r.fired == ["select_scan"]  # order matters under first-match
+    benchmark.extra_info["rules_fired"] = r.fired
+    benchmark(lambda: system.run_one(QUERY))
+
+
+def test_misordered_cost_based(benchmark, system):
+    system.optimizer = cost_based_optimizer(shuffled=True)
+    r = system.run_one(QUERY)
+    assert r.fired == ["select_ge_btree_range"]  # order does not matter
+    benchmark.extra_info["rules_fired"] = r.fired
+    benchmark(lambda: system.run_one(QUERY))
+
+
+def test_all_variants_agree(system):
+    results = []
+    for optimizer in (
+        standard_optimizer(),
+        misordered_optimizer(),
+        cost_based_optimizer(shuffled=True),
+    ):
+        system.optimizer = optimizer
+        rows = system.run_one(QUERY).value
+        results.append(sorted(t.attr("cname") for t in rows))
+    assert results[0] == results[1] == results[2]
+    system.optimizer = standard_optimizer()

@@ -1,0 +1,111 @@
+"""B8 — clustered vs unclustered access: the classic crossover.
+
+The same selection is answered three ways over the same logical relation:
+
+* clustering B-tree ``range`` (tuples live in the leaves),
+* secondary index ``sindex_range`` over a TID heap (one heap page fetch per
+  matching tuple),
+* full heap scan with a ``filter``.
+
+Expected shape: at low selectivity both indexes win; as selectivity grows
+the *unclustered* index crosses over and loses to the scan (random fetches
+exceed sequential page reads) while the clustered index converges to the
+scan from below.  This is the cost asymmetry every optimizer textbook draws
+— and the reason rule conditions distinguish representation types.
+"""
+
+import pytest
+
+from repro.models.relational import make_tuple
+from repro.storage.io import GLOBAL_PAGES
+from repro.system import make_relational_system
+
+N = 4000
+SELECTIVITIES = [0.01, 0.1, 0.5]
+
+
+@pytest.fixture(scope="module")
+def system():
+    system = make_relational_system()
+    system.run(
+        """
+type item = tuple(<(sku, string), (price, int)>)
+create heap : tidrel(item)
+create clustered : btree(item, price, int)
+create idx : sindex(item, price, int)
+"""
+    )
+    item_t = system.database.aliases["item"]
+    heap = system.database.objects["heap"].value
+    clustered = system.database.objects["clustered"].value
+    import random
+
+    rng = random.Random(11)
+    for i in range(N):
+        row = make_tuple(item_t, sku=f"sku{i}", price=rng.randrange(1_000_000))
+        heap.insert(row)
+        clustered.insert(row)
+    system.run_one("update idx := build_index(heap, price)")
+    return system
+
+
+def _threshold(selectivity):
+    return int(1_000_000 * (1 - selectivity))
+
+
+def _reads(system, text):
+    before = GLOBAL_PAGES.stats.snapshot()
+    value = system.run_one(text).value
+    return value, GLOBAL_PAGES.stats.delta(before).reads
+
+
+@pytest.mark.parametrize("selectivity", SELECTIVITIES)
+def test_clustered_range(benchmark, system, selectivity):
+    text = f"query clustered range[{_threshold(selectivity)}, top] count"
+    count, reads = _reads(system, text)
+    benchmark.extra_info.update(selectivity=selectivity, rows=count, page_reads=reads)
+    benchmark(lambda: system.run_one(text))
+
+
+@pytest.mark.parametrize("selectivity", SELECTIVITIES)
+def test_unclustered_sindex(benchmark, system, selectivity):
+    text = f"query idx sindex_range[{_threshold(selectivity)}, top] count"
+    count, reads = _reads(system, text)
+    benchmark.extra_info.update(selectivity=selectivity, rows=count, page_reads=reads)
+    benchmark(lambda: system.run_one(text))
+
+
+@pytest.mark.parametrize("selectivity", SELECTIVITIES)
+def test_heap_scan(benchmark, system, selectivity):
+    text = (
+        f"query heap feed filter[fun (i: item) i price >= {_threshold(selectivity)}] count"
+    )
+    count, reads = _reads(system, text)
+    benchmark.extra_info.update(selectivity=selectivity, rows=count, page_reads=reads)
+    benchmark(lambda: system.run_one(text))
+
+
+def test_crossover_shape(system):
+    """Low selectivity: unclustered index beats the scan in page reads.
+    High selectivity: the scan beats the unclustered index."""
+    _, idx_low = _reads(system, f"query idx sindex_range[{_threshold(0.01)}, top] count")
+    _, scan_low = _reads(
+        system,
+        f"query heap feed filter[fun (i: item) i price >= {_threshold(0.01)}] count",
+    )
+    assert idx_low < scan_low
+
+    _, idx_high = _reads(system, f"query idx sindex_range[{_threshold(0.5)}, top] count")
+    _, scan_high = _reads(
+        system,
+        f"query heap feed filter[fun (i: item) i price >= {_threshold(0.5)}] count",
+    )
+    assert scan_high < idx_high
+
+    # The clustered index never loses to the scan in page reads.
+    _, clus_high = _reads(system, f"query clustered range[{_threshold(0.5)}, top] count")
+    _, scan_high2 = _reads(
+        system,
+        f"query heap feed filter[fun (i: item) i price >= {_threshold(0.5)}] count",
+    )
+    assert clus_high <= scan_high2 * 2

@@ -1,0 +1,84 @@
+"""B9 — equi-join strategies: sort-merge vs repeated inner scan.
+
+A foreign-key equi-join between an n-row fact side and a 100-row dimension
+side.  Expected shape: the scan join is O(n·m), the merge join
+O(n log n + m log m); the gap widens with n.
+"""
+
+import pytest
+
+from repro.models.relational import make_tuple
+from repro.system import make_relational_system
+
+SIZES = [500, 2000]
+N_DIM = 100
+
+MERGE = "query facts dims join[fk = pk]"
+SCAN = (
+    "query facts_rep feed "
+    "fun (f: fact) dims_rep feed filter[fun (d: dim) f fk = d pk] "
+    "search_join count"
+)
+MERGE_DIRECT = "query facts_rep feed dims_rep feed merge_join[fk, pk] count"
+HASH_DIRECT = "query facts_rep feed dims_rep feed hash_join[fk, pk] count"
+
+
+def build(n):
+    system = make_relational_system()
+    system.run(
+        """
+type fact = tuple(<(fid, int), (fk, int)>)
+type dim = tuple(<(pk, int), (label, string)>)
+create facts : rel(fact)
+create dims : rel(dim)
+create facts_rep : srel(fact)
+create dims_rep : srel(dim)
+update rep := insert(rep, facts, facts_rep)
+update rep := insert(rep, dims, dims_rep)
+"""
+    )
+    import random
+
+    rng = random.Random(5)
+    fact_t = system.database.aliases["fact"]
+    dim_t = system.database.aliases["dim"]
+    facts = system.database.objects["facts_rep"].value
+    dims = system.database.objects["dims_rep"].value
+    for i in range(N_DIM):
+        dims.append(make_tuple(dim_t, pk=i, label=f"d{i}"))
+    for i in range(n):
+        facts.append(make_tuple(fact_t, fid=i, fk=rng.randrange(N_DIM)))
+    return system
+
+
+@pytest.fixture(scope="module", params=SIZES)
+def sized(request):
+    return request.param, build(request.param)
+
+
+def test_merge_join(benchmark, sized):
+    n, system = sized
+    assert system.run_one(MERGE_DIRECT).value == n
+    benchmark.extra_info["n_facts"] = n
+    benchmark(lambda: system.run_one(MERGE_DIRECT))
+
+
+def test_hash_join(benchmark, sized):
+    n, system = sized
+    assert system.run_one(HASH_DIRECT).value == n
+    benchmark.extra_info["n_facts"] = n
+    benchmark(lambda: system.run_one(HASH_DIRECT))
+
+
+def test_scan_search_join(benchmark, sized):
+    n, system = sized
+    assert system.run_one(SCAN).value == n
+    benchmark.extra_info["n_facts"] = n
+    benchmark(lambda: system.run_one(SCAN))
+
+
+def test_translated_equi_join_uses_merge(sized):
+    n, system = sized
+    r = system.run_one(MERGE)
+    assert r.fired == ["equi_join_merge"]
+    assert len(r.value) == n

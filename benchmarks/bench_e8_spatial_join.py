@@ -1,0 +1,43 @@
+"""E8 — the two hand-written Section 4 plans plus the optimizer's output.
+
+All three compute the same join; this is the end-to-end reproduction of the
+paper's worked example, with the measured shape: index plan beats scan plan,
+and the optimizer's translated plan matches the index plan's performance
+(it *is* that plan, modulo variable names).
+"""
+
+import pytest
+
+from benchmarks.helpers import (
+    INDEX_JOIN,
+    MODEL_JOIN,
+    SCAN_JOIN,
+    build_spatial_system,
+)
+
+N = 1200
+
+
+@pytest.fixture(scope="module")
+def system():
+    return build_spatial_system(n_cities=N, n_states=64)
+
+
+def test_results_agree(system):
+    scan = system.run_one(SCAN_JOIN).value
+    index = system.run_one(INDEX_JOIN).value
+    model = system.run_one(MODEL_JOIN)
+    assert scan == index == len(model.value) == N
+    assert model.fired == ["join_inside_lsdtree"]
+
+
+def test_scan_plan(benchmark, system):
+    benchmark(lambda: system.run_one(SCAN_JOIN))
+
+
+def test_index_plan(benchmark, system):
+    benchmark(lambda: system.run_one(INDEX_JOIN))
+
+
+def test_optimized_model_join(benchmark, system):
+    benchmark(lambda: system.run_one(MODEL_JOIN))

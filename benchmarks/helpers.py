@@ -1,0 +1,92 @@
+"""Shared dataset builders for the benchmark harness.
+
+Datasets are generated synthetically (the paper has no published data):
+cities are uniform points with uniform integer populations; states tile the
+plane with rectangular regions, so every city matches exactly one state and
+join output size equals the number of cities — a shape that keeps the
+comparisons interpretable.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.geometry import Point, Polygon
+from repro.models.relational import make_tuple
+from repro.system import SOSSystem, make_relational_system
+
+SCHEMA = """
+type city = tuple(<(cname, string), (center, point), (pop, int)>)
+type state = tuple(<(sname, string), (region, pgon)>)
+create cities : rel(city)
+create states : rel(state)
+create cities_rep : btree(city, pop, int)
+create states_rep : lsdtree(state, fun (s: state) bbox(s region))
+update rep := insert(rep, cities, cities_rep)
+update rep := insert(rep, states, states_rep)
+"""
+
+WORLD = 1000.0
+MAX_POP = 1_000_000
+
+
+def build_spatial_system(
+    n_cities: int, n_states: int, seed: int = 1993
+) -> SOSSystem:
+    """The cities/states schema with representations filled directly."""
+    system = make_relational_system()
+    system.run(SCHEMA)
+    city_t = system.database.aliases["city"]
+    state_t = system.database.aliases["state"]
+    bt = system.database.objects["cities_rep"].value
+    lsd = system.database.objects["states_rep"].value
+    rng = random.Random(seed)
+    grid = max(1, int(n_states**0.5))
+    cell = WORLD / grid
+    count = 0
+    for gy in range(grid):
+        for gx in range(grid):
+            if count >= n_states:
+                break
+            lsd.insert(
+                make_tuple(
+                    state_t,
+                    sname=f"s{count}",
+                    region=Polygon.rectangle(
+                        gx * cell, gy * cell, (gx + 1) * cell, (gy + 1) * cell
+                    ),
+                )
+            )
+            count += 1
+    for i in range(n_cities):
+        bt.insert(
+            make_tuple(
+                city_t,
+                cname=f"c{i}",
+                center=Point(rng.uniform(0, WORLD), rng.uniform(0, WORLD)),
+                pop=rng.randrange(MAX_POP),
+            )
+        )
+    return system
+
+
+def selection_query(selectivity: float) -> str:
+    """A model-level selection keeping roughly ``selectivity`` of the rows."""
+    threshold = int(MAX_POP * (1 - selectivity))
+    return f"query cities select[pop >= {threshold}]"
+
+
+SCAN_JOIN = """
+query cities_rep feed
+      fun (c: city) states_rep feed filter[fun (s: state) c center inside s region]
+      search_join count
+"""
+
+INDEX_JOIN = """
+query cities_rep feed
+      fun (c: city) states_rep (c center) point_search
+                    filter[fun (s: state) c center inside s region]
+      search_join count
+"""
+
+MODEL_JOIN = "query cities states join[center inside region]"

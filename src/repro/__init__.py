@@ -1,0 +1,81 @@
+"""repro — a reproduction of "Second-Order Signature: A Tool for Specifying
+Data Models, Query Processing, and Optimization" (R. H. Güting, SIGMOD 1993).
+
+The library provides:
+
+* :mod:`repro.core` — the formal framework: kinds, type constructors, type
+  terms, extended sorts, operator specifications with quantification over
+  kinds, second-order signatures and algebras, pattern matching, subtyping
+  and type checking;
+* :mod:`repro.models` — model-level data models built in the framework
+  (relational, nested relational, complex objects);
+* :mod:`repro.rep` and :mod:`repro.storage` — the representation level:
+  streams, B-trees, LSD-trees, temporary and TID relations, and the query
+  processing algebra over them;
+* :mod:`repro.lang` — the generic five-statement language with the
+  syntax-pattern-driven concrete expression syntax;
+* :mod:`repro.optimizer` — rule-based term rewriting with catalog-lookup
+  conditions, in the style of the Gral optimizer;
+* :mod:`repro.system` — the "SOS optimizer" front end that accepts mixed
+  model/representation programs, optimizes model statements to the
+  representation level, and executes them.
+
+Quickstart::
+
+    from repro.system import make_relational_system
+
+    system = make_relational_system()
+    system.run('type city = tuple(<(name, string), (pop, int)>)')
+    system.run('create cities : rel(city)')
+    ...
+    result = system.run('query cities select[pop > 100000]')
+"""
+
+from repro.errors import (
+    CatalogError,
+    ExecutionError,
+    KindError,
+    NoMatchingOperator,
+    OptimizationError,
+    ParseError,
+    SOSError,
+    SpecificationError,
+    StorageError,
+    TypeCheckError,
+    TypeFormationError,
+    UpdateError,
+)
+
+__version__ = "1.0.0"
+
+
+def make_relational_system():
+    """Convenience re-export of
+    :func:`repro.system.make_relational_system`."""
+    from repro.system import make_relational_system as factory
+
+    return factory()
+
+
+def make_model_interpreter():
+    """Convenience re-export of
+    :func:`repro.system.make_model_interpreter`."""
+    from repro.system import make_model_interpreter as factory
+
+    return factory()
+
+__all__ = [
+    "SOSError",
+    "SpecificationError",
+    "KindError",
+    "TypeFormationError",
+    "TypeCheckError",
+    "NoMatchingOperator",
+    "ParseError",
+    "OptimizationError",
+    "ExecutionError",
+    "CatalogError",
+    "StorageError",
+    "UpdateError",
+    "__version__",
+]

@@ -1,0 +1,129 @@
+"""Command-line front end: run programs or an interactive session.
+
+Usage::
+
+    python -m repro                      # interactive REPL (full system)
+    python -m repro program.sos          # execute a program file
+    python -m repro --model program.sos  # model-level execution, no optimizer
+
+The REPL accepts the five statement forms; a statement ends at the end of a
+line unless continued by indentation on the following lines (same rule as
+program files).  ``\\q`` quits, ``\\objects`` lists objects, ``\\types``
+lists named types.
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.core.types import format_type
+from repro.errors import SOSError
+from repro.system import make_model_interpreter, make_relational_system
+
+
+def _print_result(result) -> None:
+    generated = getattr(result, "generated_statement", lambda: None)()
+    if generated:
+        print(f"=> {generated}")
+    if result.kind == "query":
+        value = result.value
+        rows = getattr(value, "rows", value)
+        if isinstance(rows, list):
+            for row in rows:
+                print("  ", row)
+            print(f"  ({len(rows)} row(s))")
+        else:
+            print("  ", value)
+
+
+def run_file(path: str, model_only: bool, dump_to: str | None = None) -> int:
+    runner = make_model_interpreter() if model_only else make_relational_system()
+    with open(path) as f:
+        source = f.read()
+    try:
+        for result in runner.run(source):
+            _print_result(result)
+    except SOSError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    if dump_to is not None:
+        from repro.system import dump_program
+
+        with open(dump_to, "w") as out:
+            out.write(dump_program(runner.database))
+        print(f"-- state dumped to {dump_to}")
+    return 0
+
+
+def repl(model_only: bool) -> int:
+    runner = make_model_interpreter() if model_only else make_relational_system()
+    database = runner.database if hasattr(runner, "database") else runner.database
+    print("second-order signature system — \\q to quit")
+    buffer: list[str] = []
+    while True:
+        try:
+            prompt = "... " if buffer else "sos> "
+            line = input(prompt)
+        except (EOFError, KeyboardInterrupt):
+            print()
+            return 0
+        if line.strip() == "\\q":
+            return 0
+        if line.strip() == "\\objects":
+            for obj in database.objects.values():
+                print("  ", obj)
+            continue
+        if line.strip() == "\\types":
+            for name, t in database.aliases.items():
+                print(f"   {name} = {format_type(t)}")
+            continue
+        if line.strip() == "\\ops":
+            from repro.spec import describe_signature
+
+            print(describe_signature(database.sos))
+            continue
+        if line.strip().startswith("\\explain ") and hasattr(runner, "explain"):
+            try:
+                info = runner.explain(line.strip()[len("\\explain ") :])
+                print(f"   level: {info['level']}")
+                print(f"   plan:  {info['plan']}")
+                print(f"   rules: {', '.join(info['fired']) or '(none)'}")
+                print(f"   cost:  {info['estimated_cost']:.1f}")
+            except SOSError as exc:
+                print(f"error: {exc}")
+            continue
+        # Indented lines continue the buffered statement; an unindented or
+        # empty line first executes what is buffered.
+        if buffer and line[:1].isspace() and line.strip():
+            buffer.append(line)
+            continue
+        if buffer:
+            pending = "\n".join(buffer)
+            buffer = []
+            try:
+                for result in runner.run(pending):
+                    _print_result(result)
+            except SOSError as exc:
+                print(f"error: {exc}")
+        if line.strip():
+            buffer.append(line)
+
+
+def main(argv: list[str]) -> int:
+    model_only = "--model" in argv
+    dump_to = None
+    if "--dump" in argv:
+        index = argv.index("--dump")
+        if index + 1 >= len(argv):
+            print("error: --dump needs a target path", file=sys.stderr)
+            return 2
+        dump_to = argv[index + 1]
+        argv = argv[:index] + argv[index + 2 :]
+    files = [a for a in argv if not a.startswith("-")]
+    if files:
+        return run_file(files[0], model_only, dump_to)
+    return repl(model_only)
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -1,0 +1,18 @@
+"""The database catalog as an algebraic structure (paper Section 6).
+
+The catalog is *not* hard-wired: ``catalog`` is a type constructor like any
+other, catalog objects are created with ``create`` and updated with the
+``insert`` update function, and optimizer rule conditions such as
+``rep(rel1, rep1)`` are evaluated as lookups against a catalog object.
+"""
+
+from repro.catalog.catalog import CatalogValue, add_catalog_level, register_catalog_carriers
+from repro.catalog.database import Database, DatabaseObject
+
+__all__ = [
+    "CatalogValue",
+    "add_catalog_level",
+    "register_catalog_carriers",
+    "Database",
+    "DatabaseObject",
+]

@@ -1,0 +1,362 @@
+"""Second-order algebra: values and evaluation (paper Def. 3.4).
+
+A second-order algebra supplies a carrier set for every type, a function for
+every type operator, and a function for every operator.  Here:
+
+* carriers are Python values validated by per-constructor predicates
+  (:meth:`SecondOrderAlgebra.check_value`);
+* type-operator functions live on the
+  :class:`~repro.core.operators.TypeOperator` objects in Δ;
+* operator functions are the ``impl`` callables of the operator specs,
+  invoked by the :class:`Evaluator`.
+
+The module also defines the generic value classes shared by all models:
+:class:`TupleValue`, :class:`Relation`, :class:`Stream` and function values
+(:class:`Closure`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable, Iterator, Optional
+
+from repro.core.operators import ResolvedOp
+from repro.core.sos import SecondOrderSignature
+from repro.core.terms import (
+    Apply,
+    Call,
+    Fun,
+    ListTerm,
+    Literal,
+    ObjRef,
+    OpRef,
+    Term,
+    TupleTerm,
+    Var,
+)
+from repro.core.types import (
+    FunType,
+    ProductType,
+    Type,
+    TypeApp,
+    attrs_of,
+    format_type,
+)
+from repro.errors import ExecutionError, UpdateError
+
+
+class TupleValue:
+    """A tuple value: a schema (its tuple type) plus the component values."""
+
+    __slots__ = ("schema", "values", "_index")
+
+    def __init__(self, schema: Type, values: tuple):
+        self.schema = schema
+        self.values = tuple(values)
+        self._index: Optional[dict[str, int]] = None
+
+    def _attr_index(self) -> dict[str, int]:
+        if self._index is None:
+            self._index = {
+                name: i for i, (name, _) in enumerate(attrs_of(self.schema))
+            }
+        return self._index
+
+    def attr(self, name: str):
+        """The value of attribute ``name``."""
+        try:
+            return self.values[self._attr_index()[name]]
+        except KeyError:
+            raise ExecutionError(f"tuple has no attribute {name}") from None
+
+    def with_attr(self, name: str, value) -> "TupleValue":
+        """A copy with attribute ``name`` replaced (the ``replace`` op)."""
+        index = self._attr_index()[name]
+        values = list(self.values)
+        values[index] = value
+        return TupleValue(self.schema, tuple(values))
+
+    def concat(self, other: "TupleValue", schema: Type) -> "TupleValue":
+        """Concatenation with another tuple under a given result schema."""
+        return TupleValue(schema, self.values + other.values)
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, TupleValue)
+            and other.schema == self.schema
+            and other.values == self.values
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.schema, self.values))
+
+    def __repr__(self) -> str:
+        pairs = ", ".join(
+            f"{name}: {value!r}"
+            for (name, _), value in zip(attrs_of(self.schema), self.values)
+        )
+        return f"({pairs})"
+
+
+class Relation:
+    """A relation value: a multiset of tuples of one tuple type."""
+
+    __slots__ = ("type", "rows")
+
+    def __init__(self, rel_type: Type, rows: Optional[Iterable[TupleValue]] = None):
+        self.type = rel_type
+        self.rows: list[TupleValue] = list(rows) if rows is not None else []
+
+    @property
+    def tuple_type(self) -> Type:
+        assert isinstance(self.type, TypeApp)
+        arg = self.type.args[0]
+        assert isinstance(arg, Type)
+        return arg
+
+    def insert(self, row: TupleValue) -> None:
+        self.rows.append(row)
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __iter__(self) -> Iterator[TupleValue]:
+        return iter(self.rows)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Relation) or other.type != self.type:
+            return NotImplemented if not isinstance(other, Relation) else False
+        return sorted(map(repr, self.rows)) == sorted(map(repr, other.rows))
+
+    def __repr__(self) -> str:
+        return f"Relation[{format_type(self.type)}]({len(self.rows)} rows)"
+
+
+class Stream:
+    """A pipelined stream of tuples (kind STREAM of Section 4).
+
+    Streams are one-shot: iterating consumes them, which models the paper's
+    assumption that the execution engine processes stream operator sequences
+    in a pipelined fashion.  Operators that need the input repeatedly must
+    ``collect`` it first.
+    """
+
+    __slots__ = ("tuple_type", "_iterator", "_consumed")
+
+    def __init__(self, tuple_type: Type, iterator: Iterable[TupleValue]):
+        self.tuple_type = tuple_type
+        self._iterator = iter(iterator)
+        self._consumed = False
+
+    def __iter__(self) -> Iterator[TupleValue]:
+        if self._consumed:
+            raise ExecutionError("stream already consumed; collect it first")
+        self._consumed = True
+        return self._iterator
+
+    def materialize(self) -> list[TupleValue]:
+        return list(self)
+
+    def __repr__(self) -> str:
+        return f"Stream[{format_type(self.tuple_type)}]"
+
+
+class Closure:
+    """A function value: a lambda abstraction closed over an environment."""
+
+    __slots__ = ("fun", "env", "evaluator")
+
+    def __init__(self, fun: Fun, env: dict, evaluator: "Evaluator"):
+        self.fun = fun
+        self.env = env
+        self.evaluator = evaluator
+
+    @property
+    def param_types(self) -> tuple[Optional[Type], ...]:
+        return tuple(ptype for _, ptype in self.fun.params)
+
+    def __call__(self, *args):
+        if len(args) != len(self.fun.params):
+            raise ExecutionError(
+                f"function expects {len(self.fun.params)} argument(s), got {len(args)}"
+            )
+        env = dict(self.env)
+        for (name, _), value in zip(self.fun.params, args):
+            env[name] = value
+        return self.evaluator.eval(self.fun.body, env)
+
+    def __repr__(self) -> str:
+        from repro.core.terms import format_term
+
+        return f"<fun {format_term(self.fun)}>"
+
+
+CarrierCheck = Callable[["SecondOrderAlgebra", object, Type], bool]
+
+
+class SecondOrderAlgebra:
+    """Carriers and functions for a second-order signature.
+
+    Operator functions are taken from the specs' ``impl`` attributes (set by
+    the model modules); carrier membership is checked through predicates
+    registered per type constructor.
+    """
+
+    def __init__(self, sos: SecondOrderSignature):
+        self.sos = sos
+        self._carriers: dict[str, CarrierCheck] = {}
+
+    def register_carrier(self, constructor: str, check: CarrierCheck) -> None:
+        self._carriers[constructor] = check
+
+    def check_value(self, value: object, t: Type) -> bool:
+        """Does ``value`` inhabit the carrier of type ``t``?"""
+        if isinstance(t, FunType):
+            return callable(value)
+        if isinstance(t, ProductType):
+            return (
+                isinstance(value, tuple)
+                and len(value) == len(t.parts)
+                and all(self.check_value(v, p) for v, p in zip(value, t.parts))
+            )
+        if isinstance(t, TypeApp):
+            check = self._carriers.get(t.constructor)
+            if check is None:
+                return True  # unconstrained carrier
+            return check(self, value, t)
+        return False
+
+    def require_value(self, value: object, t: Type) -> None:
+        if not self.check_value(value, t):
+            raise ExecutionError(
+                f"value {value!r} does not inhabit type {format_type(t)}"
+            )
+
+
+@dataclass(slots=True)
+class OpContext:
+    """Passed to every operator implementation as its first argument."""
+
+    evaluator: "Evaluator"
+    algebra: SecondOrderAlgebra
+    resolved: ResolvedOp
+    term: Optional[Apply] = None
+
+    @property
+    def result_type(self) -> Type:
+        return self.resolved.result_type
+
+    @property
+    def bindings(self):
+        return self.resolved.bindings
+
+    def binding_type(self, name: str) -> Type:
+        """A type bound by the spec's quantifiers during typechecking."""
+        bound = self.resolved.bindings[name]
+        if not isinstance(bound, Type):
+            raise ExecutionError(f"binding {name} is not a type: {bound!r}")
+        return bound
+
+
+class Evaluator:
+    """Evaluates typechecked terms against an algebra.
+
+    ``resolver`` maps object names (:class:`ObjRef`) to their current values
+    — typically :meth:`repro.catalog.database.Database.value_of`.
+    """
+
+    def __init__(
+        self,
+        algebra: SecondOrderAlgebra,
+        resolver: Optional[Callable[[str], object]] = None,
+    ):
+        self.algebra = algebra
+        self.resolver = resolver
+
+    def eval(self, term: Term, env: Optional[dict] = None, allow_update: bool = False):
+        """Evaluate a term.  ``allow_update`` permits an update function at
+        the *root* only (the interpreter's update statement)."""
+        if env is None:
+            env = {}
+        if isinstance(term, Literal):
+            return term.value
+        if isinstance(term, Var):
+            if term.name in env:
+                return env[term.name]
+            # Bare identifiers that survived typechecking as object
+            # references are resolved like ObjRef.
+            if self.resolver is not None:
+                value = self.resolver(term.name)
+                if value is None:
+                    raise ExecutionError(
+                        f"object {term.name} is undefined or unknown"
+                    )
+                return value
+            raise ExecutionError(f"unbound variable: {term.name}")
+        if isinstance(term, ObjRef):
+            if self.resolver is None:
+                raise ExecutionError(
+                    f"no object resolver; cannot evaluate object {term.name}"
+                )
+            return self.resolver(term.name)
+        if isinstance(term, Fun):
+            return Closure(term, dict(env), self)
+        if isinstance(term, ListTerm):
+            return [self.eval(item, env) for item in term.items]
+        if isinstance(term, TupleTerm):
+            return tuple(self.eval(item, env) for item in term.items)
+        if isinstance(term, OpRef):
+            return self._op_value(term)
+        if isinstance(term, Apply):
+            return self._apply(term, env, allow_update)
+        if isinstance(term, Call):
+            fn = self.eval(term.fn, env)
+            if not callable(fn):
+                raise ExecutionError(f"value {fn!r} is not callable")
+            return fn(*(self.eval(a, env) for a in term.args))
+        raise ExecutionError(f"cannot evaluate: {term!r}")
+
+    def _apply(self, term: Apply, env: dict, allow_update: bool):
+        resolved = term.resolved
+        if resolved is None:
+            raise ExecutionError(
+                f"term was not typechecked: {term.op}(...) has no resolved operator"
+            )
+        if resolved.is_update and not allow_update:
+            raise UpdateError(
+                f"update function {term.op} applied outside an update statement"
+            )
+        impl = resolved.impl if resolved.impl is not None else (
+            resolved.spec.impl if resolved.spec is not None else None
+        )
+        if impl is None:
+            raise ExecutionError(f"operator {term.op} has no implementation")
+        args = [self.eval(a, env) for a in term.args]
+        if resolved.spec is not None and resolved.spec.eager:
+            args = [
+                a.materialize() if isinstance(a, Stream) else a for a in args
+            ]
+        ctx = OpContext(self, self.algebra, resolved, term)
+        return impl(ctx, *args)
+
+    def _op_value(self, term: OpRef):
+        """An operator used as a function value.
+
+        Resolution happened at typecheck time only for applications; for a
+        bare operator value we require a unique spec of that name.
+        """
+        specs = self.algebra.sos.operators(term.name)
+        if len(specs) != 1 or specs[0].impl is None:
+            raise ExecutionError(
+                f"operator {term.name} cannot be used as a value "
+                "(ambiguous or unimplemented)"
+            )
+        spec = specs[0]
+
+        def call(*args):
+            result_type = term.type.result if isinstance(term.type, FunType) else None
+            resolved = ResolvedOp(result_type=result_type, spec=spec, impl=spec.impl)
+            ctx = OpContext(self, self.algebra, resolved, None)
+            return spec.impl(ctx, *args)
+
+        return call

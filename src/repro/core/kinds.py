@@ -1,0 +1,31 @@
+"""Kinds: the sorts of the top-level signature (paper Def. 3.3 (i)).
+
+A kind names a set of types.  ``DATA`` in the paper's relational example
+contains exactly the constant types ``int``, ``real``, ``string`` and
+``bool``; ``REL`` contains the infinitely many relation types.  Kinds are
+pure names here — which types inhabit a kind is determined by the type
+constructors of a :class:`~repro.core.signature.TypeSystem` (the result kind
+of a type's outermost constructor).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, slots=True)
+class Kind:
+    """A kind — a sort of the top-level signature.
+
+    Kinds are compared and hashed by name, so two ``Kind("REL")`` values are
+    the same kind.  By the paper's convention kind names are upper-case, but
+    this is not enforced.
+    """
+
+    name: str
+
+    def __str__(self) -> str:
+        return self.name
+
+    def __repr__(self) -> str:
+        return f"Kind({self.name!r})"

@@ -1,0 +1,248 @@
+"""Type patterns: term trees with variables (paper Section 3, Figure 1).
+
+A pattern is a type term tree in which some subtrees have been cut off and
+replaced by variables, and in which internal nodes may additionally be
+labeled by variables.  The paper's Figure 1 example::
+
+    stream: stream ( tuple: tuple ( list ) )
+
+is ``PBind("stream", PApp("stream", (PBind("tuple", PApp("tuple",
+(PVar("list"),))),)))`` and matching it against the type
+``stream(tuple(<(name, string), (age, int)>))`` binds all three variables.
+
+Patterns match not only types but any :data:`~repro.core.types.TypeArg`
+(identifier values, literals, lists, products, embedded terms), because type
+constructors take all of those as arguments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Union
+
+from repro.core.types import (
+    ArgList,
+    ArgTuple,
+    FunType,
+    Lit,
+    ProductType,
+    Sym,
+    TermArg,
+    Type,
+    TypeApp,
+    TypeArg,
+)
+
+Bindings = dict[str, TypeArg]
+
+
+@dataclass(frozen=True, slots=True)
+class PVar:
+    """Matches anything; binds it to ``name``."""
+
+    name: str
+
+
+@dataclass(frozen=True, slots=True)
+class PBind:
+    """``name: pattern`` — binds the whole matched argument to ``name`` and
+    continues matching ``pattern`` against it."""
+
+    name: str
+    pattern: "TypePattern"
+
+
+@dataclass(frozen=True, slots=True)
+class PApp:
+    """Matches a constructor application with the given argument patterns."""
+
+    constructor: str
+    args: tuple["TypePattern", ...] = ()
+
+
+@dataclass(frozen=True, slots=True)
+class PList:
+    """Matches an :class:`ArgList` whose every item matches ``element``."""
+
+    element: "TypePattern"
+
+
+@dataclass(frozen=True, slots=True)
+class PTuple:
+    """Matches an :class:`ArgTuple` (or :class:`ProductType`) componentwise."""
+
+    items: tuple["TypePattern", ...]
+
+
+@dataclass(frozen=True, slots=True)
+class PLit:
+    """Matches a specific literal value."""
+
+    value: object
+
+
+@dataclass(frozen=True, slots=True)
+class PSym:
+    """Matches a specific identifier."""
+
+    name: str
+
+
+@dataclass(frozen=True, slots=True)
+class PFun:
+    """Matches a :class:`FunType` with the given parameter/result patterns."""
+
+    args: tuple["TypePattern", ...]
+    result: "TypePattern"
+
+
+@dataclass(frozen=True, slots=True)
+class PAny:
+    """Matches anything without binding."""
+
+
+TypePattern = Union[PVar, PBind, PApp, PList, PTuple, PLit, PSym, PFun, PAny]
+
+
+def match_type(
+    pattern: TypePattern, arg: TypeArg, bindings: Optional[Bindings] = None
+) -> Optional[Bindings]:
+    """Match ``pattern`` against a type argument.
+
+    Returns the extended bindings on success and ``None`` on failure.  A
+    variable that is already bound only matches an equal argument (non-linear
+    patterns, as used by ``union: rel+ -> rel``).
+    The input ``bindings`` dict is never mutated.
+    """
+    if bindings is None:
+        bindings = {}
+    out = _match(pattern, arg, dict(bindings))
+    return out
+
+
+def _match(pattern: TypePattern, arg: TypeArg, bindings: Bindings) -> Optional[Bindings]:
+    if isinstance(pattern, PAny):
+        return bindings
+    if isinstance(pattern, PVar):
+        bound = bindings.get(pattern.name)
+        if bound is None:
+            bindings[pattern.name] = arg
+            return bindings
+        return bindings if bound == arg else None
+    if isinstance(pattern, PBind):
+        bound = bindings.get(pattern.name)
+        if bound is not None and bound != arg:
+            return None
+        bindings[pattern.name] = arg
+        return _match(pattern.pattern, arg, bindings)
+    if isinstance(pattern, PApp):
+        if not isinstance(arg, TypeApp):
+            return None
+        if arg.constructor != pattern.constructor:
+            return None
+        if len(arg.args) != len(pattern.args):
+            return None
+        for sub, item in zip(pattern.args, arg.args):
+            if _match(sub, item, bindings) is None:
+                return None
+        return bindings
+    if isinstance(pattern, PList):
+        if not isinstance(arg, ArgList):
+            return None
+        for item in arg.items:
+            if _match(pattern.element, item, bindings) is None:
+                return None
+        return bindings
+    if isinstance(pattern, PTuple):
+        if isinstance(arg, ArgTuple):
+            items: tuple[TypeArg, ...] = arg.items
+        elif isinstance(arg, ProductType):
+            items = arg.parts
+        else:
+            return None
+        if len(items) != len(pattern.items):
+            return None
+        for sub, item in zip(pattern.items, items):
+            if _match(sub, item, bindings) is None:
+                return None
+        return bindings
+    if isinstance(pattern, PLit):
+        if isinstance(arg, Lit) and arg.value == pattern.value:
+            return bindings
+        return None
+    if isinstance(pattern, PSym):
+        if isinstance(arg, Sym) and arg.name == pattern.name:
+            return bindings
+        return None
+    if isinstance(pattern, PFun):
+        if not isinstance(arg, FunType):
+            return None
+        if len(arg.args) != len(pattern.args):
+            return None
+        for sub, item in zip(pattern.args, arg.args):
+            if _match(sub, item, bindings) is None:
+                return None
+        return _match(pattern.result, arg.result, bindings)
+    raise TypeError(f"not a type pattern: {pattern!r}")
+
+
+def instantiate_pattern(pattern: TypePattern, bindings: Bindings) -> TypeArg:
+    """Build a type argument from a pattern under complete bindings.
+
+    The inverse of matching: every variable in ``pattern`` must be bound.
+    Used to construct the supertype side of subtype rules and result types.
+    """
+    if isinstance(pattern, PVar):
+        try:
+            return bindings[pattern.name]
+        except KeyError:
+            raise KeyError(f"unbound pattern variable: {pattern.name}") from None
+    if isinstance(pattern, PBind):
+        bound = bindings.get(pattern.name)
+        if bound is not None:
+            return bound
+        return instantiate_pattern(pattern.pattern, bindings)
+    if isinstance(pattern, PApp):
+        return TypeApp(
+            pattern.constructor,
+            tuple(instantiate_pattern(a, bindings) for a in pattern.args),
+        )
+    if isinstance(pattern, PTuple):
+        return ArgTuple(tuple(instantiate_pattern(i, bindings) for i in pattern.items))
+    if isinstance(pattern, PLit):
+        return Lit(pattern.value)
+    if isinstance(pattern, PSym):
+        return Sym(pattern.name)
+    if isinstance(pattern, PFun):
+        args = tuple(instantiate_pattern(a, bindings) for a in pattern.args)
+        result = instantiate_pattern(pattern.result, bindings)
+        if not all(isinstance(a, Type) for a in args) or not isinstance(result, Type):
+            raise TypeError("function pattern instantiated to non-types")
+        return FunType(args, result)  # type: ignore[arg-type]
+    raise TypeError(f"cannot instantiate pattern: {pattern!r}")
+
+
+def pattern_variables(pattern: TypePattern) -> set[str]:
+    """All variable names a pattern can bind."""
+    if isinstance(pattern, PVar):
+        return {pattern.name}
+    if isinstance(pattern, PBind):
+        return {pattern.name} | pattern_variables(pattern.pattern)
+    if isinstance(pattern, PApp):
+        out: set[str] = set()
+        for sub in pattern.args:
+            out |= pattern_variables(sub)
+        return out
+    if isinstance(pattern, PList):
+        return pattern_variables(pattern.element)
+    if isinstance(pattern, (PTuple,)):
+        out = set()
+        for sub in pattern.items:
+            out |= pattern_variables(sub)
+        return out
+    if isinstance(pattern, PFun):
+        out = set()
+        for sub in pattern.args:
+            out |= pattern_variables(sub)
+        return out | pattern_variables(pattern.result)
+    return set()

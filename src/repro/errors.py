@@ -1,0 +1,71 @@
+"""Exception hierarchy for the second-order-signature framework.
+
+Every error raised by the library derives from :class:`SOSError`, so client
+code can catch a single class.  The subclasses follow the processing pipeline:
+specification loading, type formation, type checking, parsing, optimization,
+and execution.
+"""
+
+from __future__ import annotations
+
+
+class SOSError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class SpecificationError(SOSError):
+    """A specification (kinds / type constructors / operators) is malformed."""
+
+
+class KindError(SpecificationError):
+    """A kind is unknown or used inconsistently."""
+
+
+class TypeFormationError(SOSError):
+    """A type term does not conform to the top-level signature.
+
+    Raised when a type constructor is applied to the wrong number of
+    arguments, to arguments of the wrong kind, or when a constructor spec
+    (a dependent constraint such as the B-tree attribute constraint) fails.
+    """
+
+
+class TypeCheckError(SOSError):
+    """A value term does not typecheck against the bottom-level signature."""
+
+
+class NoMatchingOperator(TypeCheckError):
+    """No functionality of an operator matches the given operand types."""
+
+
+class ParseError(SOSError):
+    """Concrete syntax could not be parsed."""
+
+    def __init__(self, message: str, line: int | None = None, column: int | None = None):
+        location = ""
+        if line is not None:
+            location = f" at line {line}" + (f", column {column}" if column is not None else "")
+        super().__init__(message + location)
+        self.line = line
+        self.column = column
+
+
+class OptimizationError(SOSError):
+    """A rewrite rule or the rule engine failed."""
+
+
+class ExecutionError(SOSError):
+    """Evaluation of a (typechecked) term failed at run time."""
+
+
+class CatalogError(SOSError):
+    """A catalog object is missing or a catalog lookup failed."""
+
+
+class UpdateError(ExecutionError):
+    """An update function was applied outside an update statement, or the
+    updated target is not a named object."""
+
+
+class StorageError(SOSError):
+    """A storage structure (B-tree, LSD-tree, tidrel) was used incorrectly."""

@@ -1,0 +1,14 @@
+"""Spatial data types used by the representation model of Section 4.
+
+The paper's representation-level type system includes the atomic geometric
+types ``point``, ``rect`` and ``pgon`` with the operators ``inside`` and
+``bbox``.  These are full value implementations: the LSD-tree stores
+rectangles (bounding boxes of polygons), and the spatial join examples rely
+on point-in-polygon tests.
+"""
+
+from repro.geometry.point import Point
+from repro.geometry.rect import Rect
+from repro.geometry.polygon import Polygon
+
+__all__ = ["Point", "Rect", "Polygon"]

@@ -1,0 +1,16 @@
+"""2-D points (the atomic type ``point`` of the representation model)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, slots=True, order=True)
+class Point:
+    """A point in the plane."""
+
+    x: float
+    y: float
+
+    def __str__(self) -> str:
+        return f"({self.x}, {self.y})"

@@ -1,0 +1,76 @@
+"""Simple polygons (the atomic type ``pgon``) with point containment and
+bounding boxes.
+
+The paper's running example joins cities to the states they lie in via
+``center inside region`` where ``region`` is a polygon; its optimizer rule
+replaces the scan by an LSD-tree search over ``bbox(region)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.geometry.point import Point
+from repro.geometry.rect import Rect
+
+
+@dataclass(frozen=True, slots=True)
+class Polygon:
+    """A simple polygon given by its vertex ring (implicitly closed)."""
+
+    vertices: tuple[Point, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.vertices) < 3:
+            raise ValueError("a polygon needs at least three vertices")
+
+    @classmethod
+    def from_coords(cls, coords) -> "Polygon":
+        """Build from an iterable of (x, y) pairs."""
+        return cls(tuple(Point(float(x), float(y)) for x, y in coords))
+
+    @classmethod
+    def rectangle(cls, xmin: float, ymin: float, xmax: float, ymax: float) -> "Polygon":
+        """A rectangular polygon — convenient for synthetic regions."""
+        return cls(
+            (
+                Point(xmin, ymin),
+                Point(xmax, ymin),
+                Point(xmax, ymax),
+                Point(xmin, ymax),
+            )
+        )
+
+    def bbox(self) -> Rect:
+        """The bounding box — the ``bbox`` operator of the paper."""
+        xs = [v.x for v in self.vertices]
+        ys = [v.y for v in self.vertices]
+        return Rect(min(xs), min(ys), max(xs), max(ys))
+
+    def contains_point(self, p: Point) -> bool:
+        """Ray-casting point-in-polygon test (boundary counts as inside)."""
+        inside = False
+        n = len(self.vertices)
+        for i in range(n):
+            a = self.vertices[i]
+            b = self.vertices[(i + 1) % n]
+            if _on_segment(a, b, p):
+                return True
+            if (a.y > p.y) != (b.y > p.y):
+                x_cross = a.x + (p.y - a.y) * (b.x - a.x) / (b.y - a.y)
+                if p.x < x_cross:
+                    inside = not inside
+        return inside
+
+    def __str__(self) -> str:
+        return "pgon(" + ", ".join(str(v) for v in self.vertices) + ")"
+
+
+def _on_segment(a: Point, b: Point, p: Point) -> bool:
+    cross = (b.x - a.x) * (p.y - a.y) - (b.y - a.y) * (p.x - a.x)
+    if abs(cross) > 1e-12:
+        return False
+    return (
+        min(a.x, b.x) - 1e-12 <= p.x <= max(a.x, b.x) + 1e-12
+        and min(a.y, b.y) - 1e-12 <= p.y <= max(a.y, b.y) + 1e-12
+    )

@@ -1,0 +1,63 @@
+"""Axis-parallel rectangles (the atomic type ``rect``).
+
+Rectangles are the objects the LSD-tree [HeSW89] stores: bounding boxes of
+polygon attributes.  Intervals are closed on both ends.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.geometry.point import Point
+
+
+@dataclass(frozen=True, slots=True, order=True)
+class Rect:
+    """An axis-parallel rectangle ``[xmin, xmax] x [ymin, ymax]``."""
+
+    xmin: float
+    ymin: float
+    xmax: float
+    ymax: float
+
+    def __post_init__(self) -> None:
+        if self.xmin > self.xmax or self.ymin > self.ymax:
+            raise ValueError(f"degenerate rectangle: {self}")
+
+    def contains_point(self, p: Point) -> bool:
+        return self.xmin <= p.x <= self.xmax and self.ymin <= p.y <= self.ymax
+
+    def contains_rect(self, other: "Rect") -> bool:
+        return (
+            self.xmin <= other.xmin
+            and self.ymin <= other.ymin
+            and other.xmax <= self.xmax
+            and other.ymax <= self.ymax
+        )
+
+    def intersects(self, other: "Rect") -> bool:
+        return not (
+            other.xmin > self.xmax
+            or other.xmax < self.xmin
+            or other.ymin > self.ymax
+            or other.ymax < self.ymin
+        )
+
+    def union(self, other: "Rect") -> "Rect":
+        return Rect(
+            min(self.xmin, other.xmin),
+            min(self.ymin, other.ymin),
+            max(self.xmax, other.xmax),
+            max(self.ymax, other.ymax),
+        )
+
+    @property
+    def center(self) -> Point:
+        return Point((self.xmin + self.xmax) / 2, (self.ymin + self.ymax) / 2)
+
+    @property
+    def area(self) -> float:
+        return (self.xmax - self.xmin) * (self.ymax - self.ymin)
+
+    def __str__(self) -> str:
+        return f"[{self.xmin}, {self.xmax}] x [{self.ymin}, {self.ymax}]"

@@ -1,0 +1,159 @@
+"""Interpreter for the five-statement language.
+
+Executes statements directly against a :class:`~repro.catalog.database.Database`
+(no optimization; the :mod:`repro.system` front end adds the optimizing
+pipeline on top).  Semantics follow Section 2.4 / Section 6:
+
+* ``type``   — name a type (aliases are substituted at parse time);
+* ``create`` — create a named object of a type; representation structures
+  and catalogs are initialized with their ``empty`` value, other objects
+  start undefined;
+* ``update`` — evaluate the expression and assign it to the object.  Update
+  *functions* (``insert``, ``delete``, ...) are only legal at the root of an
+  update statement and their first argument must be the updated object
+  itself, per the paper's definition of update functions;
+* ``delete`` — drop the object;
+* ``query``  — evaluate and return the value (streams are materialized for
+  delivery "to the user or calling program").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.catalog.database import Database
+from repro.core.algebra import Stream
+from repro.core.terms import Apply, ObjRef, Term, Var
+from repro.core.types import Type, format_type
+from repro.errors import TypeCheckError, UpdateError
+from repro.lang.parser import (
+    CreateStmt,
+    DeleteStmt,
+    Parser,
+    QueryStmt,
+    Statement,
+    TypeStmt,
+    UpdateStmt,
+)
+
+
+@dataclass(slots=True)
+class StatementResult:
+    """The outcome of executing one statement."""
+
+    kind: str  # 'type' | 'create' | 'update' | 'delete' | 'query'
+    name: Optional[str] = None
+    type: Optional[Type] = None
+    value: object = None
+    term: Optional[Term] = None
+
+    def __repr__(self) -> str:
+        t = format_type(self.type) if self.type is not None else "?"
+        if self.kind == "query":
+            return f"<query : {t} = {self.value!r}>"
+        return f"<{self.kind} {self.name} : {t}>"
+
+
+class Interpreter:
+    """Parses and executes statements against a database."""
+
+    def __init__(self, database: Database):
+        self.database = database
+
+    def make_parser(self) -> Parser:
+        return Parser(
+            self.database.sos,
+            aliases=self.database.aliases,
+            is_object=self.database.has_object,
+        )
+
+    def run(self, source: str) -> list[StatementResult]:
+        """Parse and execute a program (one or more statements).
+
+        Each statement gets a fresh parser so that types and objects defined
+        by earlier statements are visible to later ones.
+        """
+        from repro.lang.parser import split_statements
+
+        results = []
+        for chunk in split_statements(source):
+            statement = self.make_parser().parse_statement(chunk)
+            results.append(self.execute(statement))
+        return results
+
+    def run_one(self, source: str) -> StatementResult:
+        statement = self.make_parser().parse_statement(source)
+        return self.execute(statement)
+
+    # ------------------------------------------------------------- execution
+
+    def execute(self, statement: Statement) -> StatementResult:
+        if isinstance(statement, TypeStmt):
+            t = self.database.define_type(statement.name, statement.type)
+            return StatementResult("type", name=statement.name, type=t)
+        if isinstance(statement, CreateStmt):
+            obj = self.database.create(statement.name, statement.type)
+            self._auto_initialize(statement.name, statement.type)
+            return StatementResult("create", name=statement.name, type=obj.type)
+        if isinstance(statement, UpdateStmt):
+            return self._execute_update(statement)
+        if isinstance(statement, DeleteStmt):
+            self.database.drop(statement.name)
+            return StatementResult("delete", name=statement.name)
+        if isinstance(statement, QueryStmt):
+            term = self.database.typechecker.check(statement.expr)
+            value = self.database.evaluator.eval(term)
+            if isinstance(value, Stream):
+                value = value.materialize()
+            return StatementResult("query", type=term.type, value=value, term=term)
+        raise TypeError(f"not a statement: {statement!r}")
+
+    def _auto_initialize(self, name: str, declared: Type) -> None:
+        """Give a freshly created object its ``empty`` value if the type has
+        one (relations, representation structures, catalogs); other objects
+        stay undefined until the first update."""
+        tc = self.database.typechecker
+        try:
+            term = tc.check_value_term(Var("empty"), declared)
+        except TypeCheckError:
+            return
+        value = self.database.evaluator.eval(term)
+        self.database.set_value(name, value)
+
+    def _execute_update(self, statement: UpdateStmt) -> StatementResult:
+        obj = self.database.objects.get(statement.name)
+        if obj is None:
+            from repro.errors import CatalogError
+
+            raise CatalogError(f"no such object: {statement.name}")
+        tc = self.database.typechecker
+        term = tc.check_value_term(statement.expr, obj.type)
+        self._check_update_root(term, statement.name)
+        value = self.database.evaluator.eval(term, allow_update=True)
+        if isinstance(value, Stream):
+            value = value.materialize()
+        self.database.set_value(statement.name, value)
+        return StatementResult(
+            "update", name=statement.name, type=obj.type, value=value, term=term
+        )
+
+    def _check_update_root(self, term: Term, target: str) -> None:
+        """An update function's first argument must be the updated object
+        (its result is assigned to that argument — condition (ii) of the
+        paper's update-function definition)."""
+        if not isinstance(term, Apply) or term.resolved is None:
+            return
+        if not term.resolved.is_update:
+            return
+        if not term.args:
+            return
+        first = term.args[0]
+        first_name = None
+        if isinstance(first, (Var, ObjRef)):
+            first_name = first.name
+        if first_name != target:
+            raise UpdateError(
+                f"update function {term.op} must take the updated object "
+                f"{target} as its first argument"
+            )

@@ -1,0 +1,157 @@
+"""Tokenizer for the concrete query and type syntax.
+
+Tokens: names, integer/real/string literals, punctuation, and the symbolic
+operators.  ``--`` starts a line comment.  ``<`` and ``>`` are emitted as
+plain symbols; the parser decides from context whether ``<`` opens a list
+term or is a comparison.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ParseError
+
+# Longest first so that ':=', '<=', '->' win over their prefixes.
+# '~>' (update functions), '|' (union sorts) and '#' (syntax patterns) only
+# occur in specification files, but live in the shared lexer.
+_MULTI = (":=", "<=", ">=", "!=", "->", "~>")
+_SINGLE = "()[]<>,:=+-*/.|#"
+
+KEYWORDS = frozenset({"type", "create", "update", "delete", "query", "fun", "in"})
+
+
+@dataclass(frozen=True, slots=True)
+class Token:
+    kind: str  # NAME, INT, REAL, STRING, SYM, KEYWORD, EOF
+    text: str
+    line: int
+    column: int
+    value: object = None
+
+    def __str__(self) -> str:
+        return self.text if self.kind != "EOF" else "<end of input>"
+
+
+def _is_digit(ch: str) -> bool:
+    """ASCII digits only — str.isdigit() accepts Unicode digits (e.g. '²')
+    that int()/float() reject."""
+    return "0" <= ch <= "9"
+
+
+def tokenize(source: str) -> list[Token]:
+    """Tokenize ``source``; raises :class:`ParseError` on bad characters."""
+    tokens: list[Token] = []
+    line = 1
+    column = 1
+    i = 0
+    n = len(source)
+    while i < n:
+        ch = source[i]
+        if ch == "\n":
+            line += 1
+            column = 1
+            i += 1
+            continue
+        if ch in " \t\r":
+            i += 1
+            column += 1
+            continue
+        if source.startswith("--", i):
+            while i < n and source[i] != "\n":
+                i += 1
+            continue
+        start_col = column
+        if ch == '"':
+            j = i + 1
+            chars = []
+            while j < n and source[j] != '"':
+                if source[j] == "\n":
+                    raise ParseError("unterminated string literal", line, start_col)
+                if source[j] == "\\" and j + 1 < n:
+                    chars.append(source[j + 1])
+                    j += 2
+                    continue
+                chars.append(source[j])
+                j += 1
+            if j >= n:
+                raise ParseError("unterminated string literal", line, start_col)
+            text = source[i : j + 1]
+            tokens.append(Token("STRING", text, line, start_col, "".join(chars)))
+            column += j + 1 - i
+            i = j + 1
+            continue
+        if _is_digit(ch) or (
+            ch == "-"
+            and i + 1 < n
+            and _is_digit(source[i + 1])
+            and _negative_ok(tokens)
+        ):
+            j = i + 1 if ch == "-" else i
+            while j < n and _is_digit(source[j]):
+                j += 1
+            is_real = False
+            if j + 1 < n and source[j] == "." and _is_digit(source[j + 1]):
+                is_real = True
+                j += 1
+                while j < n and _is_digit(source[j]):
+                    j += 1
+            # Scientific notation: 1e9, 2.5E-22 (only when digits follow).
+            if j < n and source[j] in "eE":
+                k = j + 1
+                if k < n and source[k] in "+-":
+                    k += 1
+                if k < n and _is_digit(source[k]):
+                    is_real = True
+                    j = k
+                    while j < n and _is_digit(source[j]):
+                        j += 1
+            text = source[i:j]
+            kind = "REAL" if is_real else "INT"
+            value = float(text) if is_real else int(text)
+            tokens.append(Token(kind, text, line, start_col, value))
+            column += j - i
+            i = j
+            continue
+        if ch.isalpha() or ch == "_":
+            j = i
+            while j < n and (source[j].isalnum() or source[j] == "_"):
+                j += 1
+            text = source[i:j]
+            kind = "KEYWORD" if text in KEYWORDS else "NAME"
+            tokens.append(Token(kind, text, line, start_col, text))
+            column += j - i
+            i = j
+            continue
+        matched = None
+        for multi in _MULTI:
+            if source.startswith(multi, i):
+                matched = multi
+                break
+        if matched is not None:
+            tokens.append(Token("SYM", matched, line, start_col))
+            i += len(matched)
+            column += len(matched)
+            continue
+        if ch in _SINGLE:
+            tokens.append(Token("SYM", ch, line, start_col))
+            i += 1
+            column += 1
+            continue
+        raise ParseError(f"unexpected character {ch!r}", line, start_col)
+    tokens.append(Token("EOF", "", line, column))
+    return tokens
+
+
+def _negative_ok(tokens: list[Token]) -> bool:
+    """A '-' starts a negative literal only where a value cannot end."""
+    if not tokens:
+        return True
+    last = tokens[-1]
+    if last.kind in ("INT", "REAL", "STRING", "NAME"):
+        return False
+    # ')' and ']' end a value; '>' does not count — it is far more often a
+    # comparison ("pop > -5") than the close of a list term.
+    if last.kind == "SYM" and last.text in (")", "]"):
+        return False
+    return True

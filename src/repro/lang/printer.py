@@ -1,0 +1,103 @@
+"""Concrete-syntax pretty printer — the inverse of the parser.
+
+Renders terms using the operators' syntax patterns, so
+``Apply("select", (Var("persons"), fun))`` prints as
+``persons select[fun (p: person) (p age) > 30]``.  Operands of postfix
+operators are parenthesized unless atomic, which keeps the output
+re-parseable: ``parse(print(t)) == t`` (tested property).
+"""
+
+from __future__ import annotations
+
+from repro.core.operators import SyntaxPattern
+from repro.core.sos import SecondOrderSignature
+from repro.core.terms import (
+    Apply,
+    Call,
+    Fun,
+    ListTerm,
+    Literal,
+    ObjRef,
+    OpRef,
+    Term,
+    TupleTerm,
+    Var,
+)
+from repro.core.types import Sym, format_type
+
+_ATTR_PATTERN = SyntaxPattern("_ #")
+
+
+def format_concrete(term: Term, sos: SecondOrderSignature) -> str:
+    """Render a term in the concrete syntax of the loaded specification."""
+    return _format(term, sos)
+
+
+def _format(term: Term, sos) -> str:
+    if isinstance(term, Literal):
+        if isinstance(term.value, str):
+            return f'"{term.value}"'
+        if isinstance(term.value, bool):
+            return "true" if term.value else "false"
+        if isinstance(term.value, Sym):
+            return term.value.name
+        return str(term.value)
+    if isinstance(term, (Var, ObjRef, OpRef)):
+        return term.name
+    if isinstance(term, ListTerm):
+        return "<" + ", ".join(_format(i, sos) for i in term.items) + ">"
+    if isinstance(term, TupleTerm):
+        return "(" + ", ".join(_format(i, sos) for i in term.items) + ")"
+    if isinstance(term, Fun):
+        params = ", ".join(
+            name if ptype is None else f"{name}: {format_type(ptype)}"
+            for name, ptype in term.params
+        )
+        return f"fun ({params}) {_format(term.body, sos)}"
+    if isinstance(term, Call):
+        args = ", ".join(_format(a, sos) for a in term.args)
+        fn = _format(term.fn, sos)
+        if not isinstance(term.fn, (Var, ObjRef)):
+            fn = f"({fn})"
+        return f"{fn}({args})"
+    if isinstance(term, Apply):
+        return _format_apply(term, sos)
+    raise TypeError(f"not a term: {term!r}")
+
+
+def _format_apply(term: Apply, sos) -> str:
+    syntax = sos.syntax_of(term.op)
+    if syntax is None and not sos.is_operator(term.op):
+        # Attribute access renders as the postfix pattern "_ #".
+        if len(term.args) == 1:
+            return f"({_operand(term.args[0], sos)} {term.op})"
+    if syntax is None:
+        args = ", ".join(_format(a, sos) for a in term.args)
+        return f"{term.op}({args})"
+    pre = [_operand(a, sos) for a in term.args[: syntax.pre]]
+    rest = list(term.args[syntax.pre :])
+    pieces = pre + [term.op]
+    index = 0
+    for style, count in syntax.groups:
+        group = rest[index : index + count]
+        index += count
+        if style == "plain":
+            pieces.extend(_operand(a, sos) for a in group)
+        else:
+            open_sym, close_sym = ("[", "]") if style == "bracket" else ("(", ")")
+            inner = ", ".join(_format(a, sos) for a in group)
+            pieces[-1] = pieces[-1] + f"{open_sym}{inner}{close_sym}"
+    text = " ".join(pieces)
+    if syntax.pre == 1 and syntax.groups == (("plain", 1),):
+        return f"({text})"  # infix, parenthesized for safety
+    return text
+
+
+def _operand(term: Term, sos) -> str:
+    """An operand of a postfix operator: parenthesize unless atomic."""
+    text = _format(term, sos)
+    if isinstance(term, (Var, ObjRef, Literal, ListTerm, TupleTerm, Call)):
+        return text
+    if text.startswith("(") and text.endswith(")"):
+        return text
+    return f"({text})"

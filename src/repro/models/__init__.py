@@ -1,0 +1,26 @@
+"""Model-level data models defined in the SOS framework (paper Section 2).
+
+Each module builds a :class:`~repro.core.sos.SecondOrderSignature` plus a
+:class:`~repro.core.algebra.SecondOrderAlgebra` for one data model:
+
+* :mod:`repro.models.relational` — the relational model with polymorphic
+  ``select`` / ``join`` / ``union``, attribute access, comparisons, and the
+  update operators of Section 6;
+* :mod:`repro.models.nested` — nested relations (the books example);
+* :mod:`repro.models.complex_objects` — the [BaK86]-style complex object
+  model (the persons example);
+* :mod:`repro.models.spatial` — the shared spatial data types ``point``,
+  ``rect``, ``pgon`` with ``inside`` and ``bbox``.
+"""
+
+from repro.models.relational import relational_model
+from repro.models.nested import nested_relational_model
+from repro.models.complex_objects import complex_object_model
+from repro.models.graph import graph_model
+
+__all__ = [
+    "relational_model",
+    "nested_relational_model",
+    "complex_object_model",
+    "graph_model",
+]

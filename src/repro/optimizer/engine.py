@@ -1,0 +1,199 @@
+"""The rule engine: steps with control strategies (Gral-style, [BeG92]).
+
+An optimizer is a sequence of :class:`OptimizerStep`; each step owns a rule
+collection and a control strategy:
+
+``exhaustive``
+    apply rules anywhere in the term, repeatedly, until no rule fires (with
+    a safety bound on the number of rewrites);
+``once_topdown`` / ``once_bottomup``
+    one traversal; at each node the first applicable rule fires at most
+    once.
+
+Every candidate rewrite is re-typechecked before acceptance; a rewrite whose
+instance does not typecheck is discarded (the rule simply does not apply
+there), which keeps unsound rules from corrupting plans.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from repro.core.terms import Apply, Call, Fun, ListTerm, Term, TupleTerm
+from repro.errors import OptimizationError, TypeCheckError
+from repro.optimizer.rules import RewriteRule
+
+MAX_REWRITES = 200
+
+
+@dataclass(slots=True)
+class OptimizerStep:
+    name: str
+    rules: Sequence[RewriteRule]
+    strategy: str = "exhaustive"  # 'exhaustive' | 'once_topdown' | 'once_bottomup'
+    cost_based: bool = False
+    """If true, *all* applicable rewrites at a node are generated and the
+    cheapest (by :mod:`repro.optimizer.cost`) is taken, instead of the first
+    rule in list order winning."""
+
+
+@dataclass(slots=True)
+class OptimizationResult:
+    term: Term
+    fired: list[str] = field(default_factory=list)
+    tried: int = 0
+
+    @property
+    def changed(self) -> bool:
+        return bool(self.fired)
+
+
+class Optimizer:
+    """Applies the steps in order to a typechecked term."""
+
+    def __init__(self, steps: Sequence[OptimizerStep]):
+        self.steps = list(steps)
+
+    def optimize(self, term: Term, db) -> OptimizationResult:
+        """Rewrite ``term`` (already typechecked against ``db``).
+
+        Returns the rewritten, re-typechecked term plus statistics.
+        """
+        result = OptimizationResult(term)
+        try:
+            for step in self.steps:
+                result.term = self._run_step(step, result.term, db, result)
+        except RecursionError:
+            raise OptimizationError(
+                "optimization exceeded the recursion limit — a rule set is "
+                "growing terms without bound"
+            ) from None
+        return result
+
+    # ------------------------------------------------------------ strategies
+
+    def _run_step(self, step: OptimizerStep, term: Term, db, stats) -> Term:
+        if step.strategy == "exhaustive":
+            for _ in range(MAX_REWRITES):
+                new_term, fired = self._rewrite_once(
+                    step.rules, term, db, stats, topdown=True,
+                    cost_based=step.cost_based,
+                )
+                if not fired:
+                    return new_term
+                term = new_term
+            raise OptimizationError(
+                f"step {step.name} exceeded {MAX_REWRITES} rewrites "
+                "(non-terminating rule set?)"
+            )
+        if step.strategy == "once_topdown":
+            new_term, _ = self._rewrite_once(
+                step.rules, term, db, stats, topdown=True,
+                cost_based=step.cost_based,
+            )
+            return new_term
+        if step.strategy == "once_bottomup":
+            new_term, _ = self._rewrite_once(
+                step.rules, term, db, stats, topdown=False,
+                cost_based=step.cost_based,
+            )
+            return new_term
+        raise OptimizationError(f"unknown strategy: {step.strategy}")
+
+    def _rewrite_once(
+        self,
+        rules: Sequence[RewriteRule],
+        term: Term,
+        db,
+        stats,
+        topdown: bool,
+        cost_based: bool = False,
+    ) -> tuple[Term, bool]:
+        """One traversal; returns (new term, any rule fired)."""
+        if topdown:
+            new_term = self._try_rules(rules, term, db, stats, cost_based)
+            if new_term is not None:
+                return new_term, True
+        rebuilt, changed = self._rewrite_children(
+            rules, term, db, stats, topdown, cost_based
+        )
+        if changed:
+            return rebuilt, True
+        if not topdown:
+            new_term = self._try_rules(rules, rebuilt, db, stats, cost_based)
+            if new_term is not None:
+                return new_term, True
+        return rebuilt, False
+
+    def _rewrite_children(
+        self, rules, term: Term, db, stats, topdown: bool, cost_based: bool = False
+    ) -> tuple[Term, bool]:
+        if isinstance(term, Apply):
+            for i, arg in enumerate(term.args):
+                new_arg, changed = self._rewrite_once(rules, arg, db, stats, topdown, cost_based)
+                if changed:
+                    term.args = term.args[:i] + (new_arg,) + term.args[i + 1 :]
+                    return term, True
+            return term, False
+        if isinstance(term, Fun):
+            new_body, changed = self._rewrite_once(rules, term.body, db, stats, topdown, cost_based)
+            if changed:
+                term.body = new_body
+                return term, True
+            return term, False
+        if isinstance(term, (ListTerm, TupleTerm)):
+            for i, item in enumerate(term.items):
+                new_item, changed = self._rewrite_once(rules, item, db, stats, topdown, cost_based)
+                if changed:
+                    term.items = term.items[:i] + (new_item,) + term.items[i + 1 :]
+                    return term, True
+            return term, False
+        if isinstance(term, Call):
+            new_fn, changed = self._rewrite_once(rules, term.fn, db, stats, topdown, cost_based)
+            if changed:
+                term.fn = new_fn
+                return term, True
+            for i, arg in enumerate(term.args):
+                new_arg, changed = self._rewrite_once(rules, arg, db, stats, topdown, cost_based)
+                if changed:
+                    term.args = term.args[:i] + (new_arg,) + term.args[i + 1 :]
+                    return term, True
+            return term, False
+        return term, False
+
+    def _try_rules(
+        self, rules, term: Term, db, stats, cost_based: bool = False
+    ) -> Optional[Term]:
+        if not cost_based:
+            for rule in rules:
+                stats.tried += 1
+                for candidate in rule.apply_at(term, db):
+                    try:
+                        checked = db.typechecker.check(candidate)
+                    except TypeCheckError:
+                        continue
+                    stats.fired.append(rule.name)
+                    return checked
+            return None
+        # Cost-based choice: generate every applicable rewrite and keep the
+        # cheapest plan under the structural cost model.
+        from repro.optimizer.cost import estimate
+
+        best = None
+        best_cost = None
+        best_rule = None
+        for rule in rules:
+            stats.tried += 1
+            for candidate in rule.apply_at(term, db):
+                try:
+                    checked = db.typechecker.check(candidate)
+                except TypeCheckError:
+                    continue
+                cost = estimate(checked, db)
+                if best_cost is None or cost < best_cost:
+                    best, best_cost, best_rule = checked, cost, rule
+        if best is not None:
+            stats.fired.append(best_rule.name)
+            return best
+        return None

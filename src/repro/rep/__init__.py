@@ -1,0 +1,20 @@
+"""The representation and query processing level (paper Section 4).
+
+:mod:`repro.rep.model` installs the representation type system — kinds
+``ORD``, ``STREAM``, ``SREL``, ``TIDREL``, ``BTREE``, ``LSDTREE``,
+``RELREP`` with the subtype order into ``relrep`` — and the execution
+algebra: ``feed``, ``filter``, ``project``, ``replace``, ``collect``,
+``range``, ``point_search``, ``overlap_search``, ``search_join`` plus the
+structure update operators of Section 6.
+
+:mod:`repro.rep.streams` holds the plain stream combinators the operator
+implementations delegate to.
+"""
+
+from repro.rep.model import add_representation_level, representation_model, register_rep_carriers
+
+__all__ = [
+    "add_representation_level",
+    "representation_model",
+    "register_rep_carriers",
+]

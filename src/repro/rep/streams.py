@@ -1,0 +1,153 @@
+"""Stream combinators: the pipelined execution primitives of Section 4.
+
+These are plain functions over :class:`~repro.core.algebra.Stream` values;
+the operator specifications in :mod:`repro.rep.model` delegate to them.
+Keeping them separate makes the pipelining ablation benchmark (B6) possible:
+the same plan can run fully pipelined or with materialization barriers.
+"""
+
+from __future__ import annotations
+
+from itertools import islice
+from typing import Callable, Iterable
+
+from repro.core.algebra import Stream, TupleValue
+from repro.core.types import Type
+
+
+def feed(tuple_type: Type, source: Iterable) -> Stream:
+    """A stream over any iterable of tuples (relation representations
+    expose ``scan()``)."""
+    return Stream(tuple_type, iter(source))
+
+
+def filter_stream(stream: Stream, predicate: Callable) -> Stream:
+    """Keep the tuples satisfying the predicate."""
+    return Stream(stream.tuple_type, (t for t in stream if predicate(t)))
+
+
+def project_stream(
+    out_tuple: Type, stream: Stream, fields: list[tuple[object, Callable]]
+) -> Stream:
+    """Generalized projection: each output attribute is computed by a
+    function of the input tuple (paper: realizes extend/replace-style
+    operators of [GüZC89] / [AbB88])."""
+    return Stream(
+        out_tuple,
+        (
+            TupleValue(out_tuple, tuple(fn(t) for _, fn in fields))
+            for t in stream
+        ),
+    )
+
+
+def replace_stream(stream: Stream, attr: str, fn: Callable) -> Stream:
+    """Replace one attribute value in every tuple."""
+    return Stream(stream.tuple_type, (t.with_attr(attr, fn(t)) for t in stream))
+
+
+def head_stream(stream: Stream, n: int) -> Stream:
+    """The first ``n`` tuples."""
+    return Stream(stream.tuple_type, islice(iter(stream), n))
+
+
+def concat_streams(tuple_type: Type, streams: list[Stream]) -> Stream:
+    """All tuples of several streams of the same type, in order."""
+
+    def gen():
+        for s in streams:
+            yield from s
+
+    return Stream(tuple_type, gen())
+
+
+def sort_stream(stream: Stream, key: Callable) -> Stream:
+    """Sort (materializes internally — a pipeline breaker)."""
+    return Stream(stream.tuple_type, iter(sorted(stream, key=key)))
+
+
+def rdup_stream(stream: Stream) -> Stream:
+    """Remove *adjacent* duplicates — cheap after a sort, as in classic
+    duplicate elimination."""
+
+    def gen():
+        previous = object()
+        for t in stream:
+            if t != previous:
+                yield t
+            previous = t
+
+    return Stream(stream.tuple_type, gen())
+
+
+def hash_join_stream(
+    out_tuple: Type,
+    left: Stream,
+    right: Stream,
+    left_key: Callable,
+    right_key: Callable,
+) -> Stream:
+    """Classic hash equi-join: build a hash table on the right input, probe
+    with the left — one pass over each side."""
+
+    def gen():
+        table: dict = {}
+        for r in right:
+            table.setdefault(right_key(r), []).append(r)
+        for l in left:
+            for r in table.get(left_key(l), ()):
+                yield l.concat(r, out_tuple)
+
+    return Stream(out_tuple, gen())
+
+
+def merge_join_stream(
+    out_tuple: Type,
+    left: Stream,
+    right: Stream,
+    left_key: Callable,
+    right_key: Callable,
+) -> Stream:
+    """Sort-merge equi-join: both inputs are materialized, sorted on their
+    keys and merged; equal-key groups produce their cross product."""
+
+    def gen():
+        lrows = sorted(left, key=left_key)
+        rrows = sorted(right, key=right_key)
+        i = j = 0
+        while i < len(lrows) and j < len(rrows):
+            lk = left_key(lrows[i])
+            rk = right_key(rrows[j])
+            if lk < rk:
+                i += 1
+            elif rk < lk:
+                j += 1
+            else:
+                # gather both equal-key groups
+                i_end = i
+                while i_end < len(lrows) and left_key(lrows[i_end]) == lk:
+                    i_end += 1
+                j_end = j
+                while j_end < len(rrows) and right_key(rrows[j_end]) == lk:
+                    j_end += 1
+                for li in range(i, i_end):
+                    for rj in range(j, j_end):
+                        yield lrows[li].concat(rrows[rj], out_tuple)
+                i, j = i_end, j_end
+
+    return Stream(out_tuple, gen())
+
+
+def search_join_stream(out_tuple: Type, outer: Stream, inner_fn: Callable) -> Stream:
+    """The search join of Section 4: for each outer tuple, ``inner_fn``
+    yields a stream of matching inner tuples; pairs are concatenated into
+    the output stream.  Whether the inner side scans, filters or probes an
+    index is entirely up to the function — that is the point of the
+    operator."""
+
+    def gen():
+        for t1 in outer:
+            for t2 in inner_fn(t1):
+                yield t1.concat(t2, out_tuple)
+
+    return Stream(out_tuple, gen())

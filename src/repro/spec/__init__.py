@@ -1,0 +1,34 @@
+"""The textual specification language (paper Sections 2.1, 2.2 and 4).
+
+A specification has the section structure the paper gives::
+
+    kinds IDENT, DATA, TUPLE, REL
+
+    type constructors
+        -> IDENT                         ident
+        -> DATA                          int, real, string, bool
+        (ident x DATA)+ -> TUPLE         tuple
+        TUPLE -> REL                     rel
+
+    subtypes
+        srel(tuple) < relrep(tuple)
+
+    operators
+        forall data in DATA.
+            data x data -> bool          =, !=, <, <=, >=, >   syntax ( _ # _ )
+        forall rel: rel(tuple) in REL.
+            rel x (tuple -> bool) -> rel  select               syntax _ #[ _ ]
+
+:func:`parse_spec` turns such text into a
+:class:`~repro.core.sos.SecondOrderSignature` — specifications really are
+*data* for the generic parser/optimizer component, the paper's central
+engineering claim.  Semantics (operator implementations, type-operator
+functions, dependent constructor specs) are attached by name through the
+``impls`` / ``type_operators`` / ``constructor_specs`` arguments, mirroring
+"a second-order algebra will be provided by implementation".
+"""
+
+from repro.spec.describe import describe_operator, describe_signature
+from repro.spec.parser import parse_spec
+
+__all__ = ["parse_spec", "describe_signature", "describe_operator"]

@@ -1,0 +1,32 @@
+"""Storage substrates for the representation level (paper Section 4).
+
+The paper assumes disk-resident structures; we build page-structured
+in-memory equivalents with a simulated page manager that counts page reads
+and writes (:mod:`repro.storage.io`), so the *cost shape* that drives plan
+choice is observable:
+
+* :mod:`repro.storage.btree` — a clustering B+-tree over tuples, keyed by an
+  attribute or by an arbitrary key function (both constructor variants of
+  the paper);
+* :mod:`repro.storage.lsdtree` — an LSD-tree [HeSW89] over rectangles via
+  the 4-d corner transformation, with point and overlap search;
+* :mod:`repro.storage.tidrel` — a TID-addressed permanent relation;
+* :mod:`repro.storage.srel` — temporary relations collected from streams.
+"""
+
+from repro.storage.io import IOStats, PageManager
+from repro.storage.btree import BTree, BOTTOM_KEY, TOP_KEY
+from repro.storage.lsdtree import LSDTree
+from repro.storage.srel import SRel
+from repro.storage.tidrel import TidRelation
+
+__all__ = [
+    "IOStats",
+    "PageManager",
+    "BTree",
+    "BOTTOM_KEY",
+    "TOP_KEY",
+    "LSDTree",
+    "SRel",
+    "TidRelation",
+]

@@ -1,0 +1,624 @@
+"""A clustering B+-tree over tuples (the ``btree`` constructor of Section 4).
+
+The paper gives two constructor variants and this class covers both:
+
+* ``btree(tuple, attrname, dtype)`` — key is one attribute; pass
+  ``key=lambda t: t.attr("pop")``;
+* ``btree(tuple, fun (t: tuple) expr)`` — key is an arbitrary derived value;
+  pass any callable.
+
+The tree is a textbook B+-tree: tuples live in the leaves (clustering
+structure), leaves are chained for scans, internal nodes hold separator
+keys.  Duplicate keys are allowed.  Deletion rebalances by borrowing from or
+merging with siblings.  Every node is a simulated page; reads and writes are
+accounted through a :class:`~repro.storage.io.PageManager`.
+
+Update operators of Section 6 map to: :meth:`insert`, :meth:`stream_insert`,
+:meth:`delete_tuples`, :meth:`modify_tuples` (in situ, key must not change)
+and :meth:`re_insert_tuples` (delete + reinsert, for key updates).
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, bisect_right
+from typing import Callable, Iterable, Iterator, Optional
+
+from repro.errors import StorageError
+from repro.storage.io import GLOBAL_PAGES, PageManager
+
+
+class _Sentinel:
+    __slots__ = ("_name",)
+
+    def __init__(self, name: str):
+        self._name = name
+
+    def __repr__(self) -> str:
+        return self._name
+
+
+BOTTOM_KEY = _Sentinel("bottom")
+"""Smaller than every key — the polymorphic constant ``bottom``."""
+
+TOP_KEY = _Sentinel("top")
+"""Greater than every key — the polymorphic constant ``top``."""
+
+
+class _Node:
+    __slots__ = ("leaf", "keys", "values", "children", "next", "page_id")
+
+    def __init__(self, leaf: bool, page_id: int):
+        self.leaf = leaf
+        self.keys: list = []
+        self.values: list = []  # leaf only: the tuples
+        self.children: list["_Node"] = []  # internal only
+        self.next: Optional["_Node"] = None  # leaf chain
+        self.page_id = page_id
+
+
+class BTree:
+    """A B+-tree of tuples keyed by ``key(tuple)``.
+
+    ``order`` is the maximum number of keys per node (>= 3); nodes other
+    than the root keep at least ``order // 2`` keys.
+    """
+
+    def __init__(
+        self,
+        key: Callable,
+        order: int = 32,
+        pages: Optional[PageManager] = None,
+        name: str = "btree",
+    ):
+        if order < 3:
+            raise StorageError("B-tree order must be at least 3")
+        self.key = key
+        self.order = order
+        self.pages = pages if pages is not None else GLOBAL_PAGES
+        self.name = name
+        self._root = _Node(leaf=True, page_id=self.pages.allocate())
+        self._count = 0
+
+    # ------------------------------------------------------------ queries
+
+    def __len__(self) -> int:
+        return self._count
+
+    @property
+    def height(self) -> int:
+        h = 1
+        node = self._root
+        while not node.leaf:
+            h += 1
+            node = node.children[0]
+        return h
+
+    def scan(self) -> Iterator:
+        """All tuples in key order (leaf chain scan) — the ``feed`` path."""
+        node = self._leftmost_leaf()
+        while node is not None:
+            self.pages.read(node.page_id)
+            yield from node.values
+            node = node.next
+
+    def range_search(self, low, high) -> Iterator:
+        """All tuples with ``low <= key <= high`` — the ``range`` operator.
+
+        ``BOTTOM_KEY`` / ``TOP_KEY`` open the respective end (halfranges).
+        """
+        if low is BOTTOM_KEY:
+            node: Optional[_Node] = self._leftmost_leaf()
+            index = 0
+        else:
+            node, index = self._find_leaf(low)
+        while node is not None:
+            self.pages.read(node.page_id)
+            while index < len(node.keys):
+                key = node.keys[index]
+                if high is not TOP_KEY and key > high:
+                    return
+                yield node.values[index]
+                index += 1
+            node = node.next
+            index = 0
+
+    def exact_search(self, key) -> Iterator:
+        """All tuples whose key equals ``key``."""
+        return self.range_search(key, key)
+
+    def prefix_search(self, prefix: tuple) -> Iterator:
+        """All tuples whose (composite) key starts with ``prefix``.
+
+        For multi-attribute B-trees (keys are tuples, ordered
+        lexicographically — the structure the paper mentions in Section 4:
+        "ordered first by one attribute, then for equal values by a second
+        attribute"), this answers queries that fix a *prefix* of the
+        indexing attributes.  An empty prefix scans everything.
+        """
+        k = len(prefix)
+        if k == 0:
+            yield from self.scan()
+            return
+        node, index = self._find_leaf(_PrefixBound(prefix))
+        while node is not None:
+            self.pages.read(node.page_id)
+            while index < len(node.keys):
+                key = node.keys[index]
+                head = key[:k] if isinstance(key, tuple) else (key,)[:k]
+                if head != tuple(prefix):
+                    return
+                yield node.values[index]
+                index += 1
+            node = node.next
+            index = 0
+
+    def _leftmost_leaf(self) -> _Node:
+        node = self._root
+        self.pages.read(node.page_id)
+        while not node.leaf:
+            node = node.children[0]
+            self.pages.read(node.page_id)
+        return node
+
+    def _find_leaf(self, key) -> tuple[_Node, int]:
+        """The first leaf position with stored key >= ``key``."""
+        node = self._root
+        self.pages.read(node.page_id)
+        while not node.leaf:
+            index = bisect_left(node.keys, key)
+            node = node.children[index]
+            self.pages.read(node.page_id)
+        return node, bisect_left(node.keys, key)
+
+    # ------------------------------------------------------------ insertion
+
+    def insert(self, value) -> None:
+        """Insert one tuple (the ``insert`` update function)."""
+        key = self.key(value)
+        split = self._insert(self._root, key, value)
+        if split is not None:
+            separator, right = split
+            new_root = _Node(leaf=False, page_id=self.pages.allocate())
+            new_root.keys = [separator]
+            new_root.children = [self._root, right]
+            self._root = new_root
+            self.pages.write(new_root.page_id)
+        self._count += 1
+
+    def stream_insert(self, values: Iterable) -> None:
+        """Insert every tuple of a stream (the ``stream_insert`` operator)."""
+        for value in values:
+            self.insert(value)
+
+    def bulk_load(self, values: Iterable) -> None:
+        """Build the tree bottom-up from (not necessarily sorted) tuples.
+
+        Only valid on an empty tree.  The classical bulk-loading algorithm:
+        sort once, pack leaves left to right at ~2/3 fill, then build each
+        internal level from the one below — O(n log n) for the sort plus one
+        write per page, instead of one descent per tuple.
+        """
+        if self._count:
+            raise StorageError("bulk_load requires an empty B-tree")
+        items = sorted(((self.key(v), v) for v in values), key=lambda kv: kv[0])
+        if not items:
+            return
+        fill = max(2, (2 * self.order) // 3)
+        # Leaf level.
+        self.pages.free(self._root.page_id)
+        leaves: list[_Node] = []
+        for start in range(0, len(items), fill):
+            chunk = items[start : start + fill]
+            leaf = _Node(leaf=True, page_id=self.pages.allocate())
+            leaf.keys = [k for k, _ in chunk]
+            leaf.values = [v for _, v in chunk]
+            if leaves:
+                leaves[-1].next = leaf
+            leaves.append(leaf)
+            self.pages.write(leaf.page_id)
+        # A final underfull leaf merges with or rebalances against its left
+        # sibling: total <= order fits one leaf; otherwise an even split
+        # leaves both at >= order/2.
+        if len(leaves) > 1 and len(leaves[-1].keys) < self._min_keys():
+            last = leaves.pop()
+            prev = leaves[-1]
+            keys = prev.keys + last.keys
+            vals = prev.values + last.values
+            self.pages.free(last.page_id)
+            if len(keys) <= self.order:
+                prev.keys, prev.values = keys, vals
+                prev.next = None
+                self.pages.write(prev.page_id)
+            else:
+                half = len(keys) // 2
+                prev.keys, prev.values = keys[:half], vals[:half]
+                fresh = _Node(leaf=True, page_id=self.pages.allocate())
+                fresh.keys, fresh.values = keys[half:], vals[half:]
+                prev.next = fresh
+                leaves.append(fresh)
+                self.pages.write(prev.page_id)
+                self.pages.write(fresh.page_id)
+        # Internal levels.
+        level: list[_Node] = leaves
+        while len(level) > 1:
+            parents: list[_Node] = []
+            group = self.order  # children per internal node (keys = group-1)
+            for start in range(0, len(level), group):
+                children = level[start : start + group]
+                node = _Node(leaf=False, page_id=self.pages.allocate())
+                node.children = children
+                node.keys = [self._subtree_min(c) for c in children[1:]]
+                parents.append(node)
+                self.pages.write(node.page_id)
+            # Keep the last internal node legal: merge with the previous one
+            # if everything fits, otherwise split the children evenly.
+            if len(parents) > 1 and len(parents[-1].children) < self._min_keys() + 1:
+                last = parents.pop()
+                prev = parents[-1]
+                children = prev.children + last.children
+                self.pages.free(last.page_id)
+                if len(children) <= self.order + 1:
+                    prev.children = children
+                    prev.keys = [self._subtree_min(c) for c in children[1:]]
+                    self.pages.write(prev.page_id)
+                else:
+                    half = len(children) // 2
+                    prev.children = children[:half]
+                    prev.keys = [self._subtree_min(c) for c in prev.children[1:]]
+                    fresh = _Node(leaf=False, page_id=self.pages.allocate())
+                    fresh.children = children[half:]
+                    fresh.keys = [self._subtree_min(c) for c in fresh.children[1:]]
+                    parents.append(fresh)
+                    self.pages.write(prev.page_id)
+                    self.pages.write(fresh.page_id)
+            level = parents
+        self._root = level[0]
+        self._count = len(items)
+
+    def _subtree_min(self, node: _Node):
+        while not node.leaf:
+            node = node.children[0]
+        return node.keys[0]
+
+    def _insert(self, node: _Node, key, value):
+        if node.leaf:
+            index = bisect_right(node.keys, key)
+            node.keys.insert(index, key)
+            node.values.insert(index, value)
+            self.pages.write(node.page_id)
+            if len(node.keys) > self.order:
+                return self._split_leaf(node)
+            return None
+        index = bisect_left(node.keys, key)
+        split = self._insert(node.children[index], key, value)
+        if split is None:
+            return None
+        separator, right = split
+        node.keys.insert(index, separator)
+        node.children.insert(index + 1, right)
+        self.pages.write(node.page_id)
+        if len(node.keys) > self.order:
+            return self._split_internal(node)
+        return None
+
+    def _split_leaf(self, node: _Node):
+        mid = len(node.keys) // 2
+        right = _Node(leaf=True, page_id=self.pages.allocate())
+        right.keys = node.keys[mid:]
+        right.values = node.values[mid:]
+        node.keys = node.keys[:mid]
+        node.values = node.values[:mid]
+        right.next = node.next
+        node.next = right
+        self.pages.write(node.page_id)
+        self.pages.write(right.page_id)
+        return right.keys[0], right
+
+    def _split_internal(self, node: _Node):
+        mid = len(node.keys) // 2
+        separator = node.keys[mid]
+        right = _Node(leaf=False, page_id=self.pages.allocate())
+        right.keys = node.keys[mid + 1 :]
+        right.children = node.children[mid + 1 :]
+        node.keys = node.keys[:mid]
+        node.children = node.children[: mid + 1]
+        self.pages.write(node.page_id)
+        self.pages.write(right.page_id)
+        return separator, right
+
+    # ------------------------------------------------------------- deletion
+
+    def delete(self, value) -> bool:
+        """Delete one tuple (found by key, then by equality).
+
+        Returns whether a matching tuple was present.
+        """
+        key = self.key(value)
+        removed = self._delete(self._root, key, value)
+        if removed:
+            self._count -= 1
+            if not self._root.leaf and len(self._root.children) == 1:
+                old = self._root
+                self._root = self._root.children[0]
+                self.pages.free(old.page_id)
+        return removed
+
+    def delete_tuples(self, values: Iterable) -> int:
+        """Delete every tuple of a stream (the B-tree ``delete`` operator).
+
+        The stream is normally produced by a search on this same tree; it is
+        materialized first so deletion does not disturb the scan — this
+        stands in for the paper's "position still available / tuple fixed on
+        a buffer page" stream-connection assumption.
+        """
+        deleted = 0
+        for value in list(values):
+            if self.delete(value):
+                deleted += 1
+        return deleted
+
+    def _min_keys(self) -> int:
+        return self.order // 2
+
+    def _delete(self, node: _Node, key, value) -> bool:
+        if node.leaf:
+            self.pages.read(node.page_id)
+            index = bisect_left(node.keys, key)
+            while index < len(node.keys) and node.keys[index] == key:
+                if node.values[index] == value:
+                    del node.keys[index]
+                    del node.values[index]
+                    self.pages.write(node.page_id)
+                    return True
+                index += 1
+            return False
+        self.pages.read(node.page_id)
+        index = bisect_left(node.keys, key)
+        # Duplicates may straddle children; try successive children whose
+        # range can still contain the key.
+        while index < len(node.children):
+            child = node.children[index]
+            if self._delete(child, key, value):
+                self._rebalance(node, index)
+                return True
+            if index >= len(node.keys) or node.keys[index] != key:
+                return False
+            index += 1
+        return False
+
+    def _rebalance(self, parent: _Node, index: int) -> None:
+        child = parent.children[index]
+        min_keys = self._min_keys()
+        if len(child.keys) >= min_keys:
+            return
+        left = parent.children[index - 1] if index > 0 else None
+        right = parent.children[index + 1] if index + 1 < len(parent.children) else None
+        if left is not None and len(left.keys) > min_keys:
+            self._borrow_from_left(parent, index, left, child)
+        elif right is not None and len(right.keys) > min_keys:
+            self._borrow_from_right(parent, index, child, right)
+        elif left is not None:
+            self._merge(parent, index - 1, left, child)
+        elif right is not None:
+            self._merge(parent, index, child, right)
+
+    def _borrow_from_left(self, parent, index, left, child) -> None:
+        if child.leaf:
+            child.keys.insert(0, left.keys.pop())
+            child.values.insert(0, left.values.pop())
+            parent.keys[index - 1] = child.keys[0]
+        else:
+            child.keys.insert(0, parent.keys[index - 1])
+            parent.keys[index - 1] = left.keys.pop()
+            child.children.insert(0, left.children.pop())
+        self.pages.write(parent.page_id)
+        self.pages.write(left.page_id)
+        self.pages.write(child.page_id)
+
+    def _borrow_from_right(self, parent, index, child, right) -> None:
+        if child.leaf:
+            child.keys.append(right.keys.pop(0))
+            child.values.append(right.values.pop(0))
+            parent.keys[index] = right.keys[0]
+        else:
+            child.keys.append(parent.keys[index])
+            parent.keys[index] = right.keys.pop(0)
+            child.children.append(right.children.pop(0))
+        self.pages.write(parent.page_id)
+        self.pages.write(right.page_id)
+        self.pages.write(child.page_id)
+
+    def _merge(self, parent, left_index, left, right) -> None:
+        if left.leaf:
+            left.keys.extend(right.keys)
+            left.values.extend(right.values)
+            left.next = right.next
+        else:
+            left.keys.append(parent.keys[left_index])
+            left.keys.extend(right.keys)
+            left.children.extend(right.children)
+        del parent.keys[left_index]
+        del parent.children[left_index + 1]
+        self.pages.free(right.page_id)
+        self.pages.write(parent.page_id)
+        self.pages.write(left.page_id)
+
+    # ---------------------------------------------------------------- updates
+
+    def modify_tuples(self, values: Iterable, fn: Callable) -> int:
+        """Modify tuples in situ (the B-tree ``modify`` operator).
+
+        ``fn`` maps a stream of tuples to a stream of modified tuples (as in
+        the paper, where it is composed of stream operators like
+        ``replace``).  Keys must be unchanged; use :meth:`re_insert_tuples`
+        for key updates.
+        """
+        originals = list(values)
+        modified = list(fn(iter(originals)))
+        if len(modified) != len(originals):
+            raise StorageError("modify function changed the number of tuples")
+        changed = 0
+        for old, new in zip(originals, modified):
+            old_key = self.key(old)
+            new_key = self.key(new)
+            if old_key != new_key:
+                raise StorageError(
+                    "modify must not change the key; use re_insert"
+                )
+            if self._replace_in_situ(old_key, old, new):
+                changed += 1
+            else:
+                raise StorageError("tuple to modify not found in B-tree")
+        return changed
+
+    def re_insert_tuples(self, values: Iterable, fn: Callable) -> int:
+        """Key updates: delete each tuple and reinsert its modified version
+        (the B-tree ``re_insert`` operator)."""
+        originals = list(values)
+        modified = list(fn(iter(originals)))
+        if len(modified) != len(originals):
+            raise StorageError("re_insert function changed the number of tuples")
+        for old, new in zip(originals, modified):
+            if not self.delete(old):
+                raise StorageError("tuple to re_insert not found in B-tree")
+            self.insert(new)
+        return len(originals)
+
+    def _replace_in_situ(self, key, old, new) -> bool:
+        node, index = self._find_leaf(key)
+        while node is not None:
+            while index < len(node.keys) and node.keys[index] == key:
+                if node.values[index] == old:
+                    node.values[index] = new
+                    self.pages.write(node.page_id)
+                    return True
+                index += 1
+            if index < len(node.keys):
+                return False
+            node = node.next
+            index = 0
+            if node is not None:
+                self.pages.read(node.page_id)
+        return False
+
+    # --------------------------------------------------------------- checking
+
+    def check_invariants(self) -> None:
+        """Raise :class:`StorageError` if any B+-tree invariant is violated.
+
+        Used by the property-based tests: sorted keys, balanced depth, node
+        fill factors, separator correctness, complete leaf chain, and the
+        stored count.
+        """
+        leaves: list[_Node] = []
+        self._check_node(self._root, depth=0, leaves=leaves, is_root=True)
+        depths = {self._leaf_depth(leaf) for leaf in leaves}
+        if len(depths) > 1:
+            raise StorageError("leaves at differing depths")
+        chained = []
+        node = self._leftmost_leaf_unchecked()
+        while node is not None:
+            chained.append(node)
+            node = node.next
+        if [id(leaf) for leaf in chained] != [id(leaf) for leaf in leaves]:
+            raise StorageError("leaf chain does not match tree order")
+        total = sum(len(leaf.keys) for leaf in leaves)
+        if total != self._count:
+            raise StorageError(f"count mismatch: {total} != {self._count}")
+        keys = [key for leaf in leaves for key in leaf.keys]
+        if any(keys[i] > keys[i + 1] for i in range(len(keys) - 1)):
+            raise StorageError("keys are not globally sorted")
+
+    def _leftmost_leaf_unchecked(self) -> _Node:
+        node = self._root
+        while not node.leaf:
+            node = node.children[0]
+        return node
+
+    def _leaf_depth(self, leaf: _Node) -> int:
+        """Depth of a leaf found by identity search (invariant checking)."""
+        def walk(node: _Node, depth: int):
+            if node.leaf:
+                return depth if node is leaf else None
+            for child in node.children:
+                found = walk(child, depth + 1)
+                if found is not None:
+                    return found
+            return None
+
+        depth = walk(self._root, 0)
+        if depth is None:
+            raise StorageError("leaf not reachable from the root")
+        return depth
+
+    def _check_node(self, node: _Node, depth: int, leaves: list, is_root: bool) -> None:
+        min_keys = self._min_keys()
+        if not is_root and len(node.keys) < min_keys:
+            raise StorageError(f"underfull node at depth {depth}")
+        if len(node.keys) > self.order:
+            raise StorageError(f"overfull node at depth {depth}")
+        if any(node.keys[i] > node.keys[i + 1] for i in range(len(node.keys) - 1)):
+            raise StorageError("unsorted node keys")
+        if node.leaf:
+            if len(node.keys) != len(node.values):
+                raise StorageError("leaf key/value length mismatch")
+            leaves.append(node)
+            return
+        if len(node.children) != len(node.keys) + 1:
+            raise StorageError("internal child count mismatch")
+        for i, child in enumerate(node.children):
+            self._check_node(child, depth + 1, leaves, is_root=False)
+            child_keys = self._subtree_keys(child)
+            if not child_keys:
+                continue
+            if i > 0 and child_keys[0] < node.keys[i - 1]:
+                raise StorageError("separator violated on the left")
+            if i < len(node.keys) and child_keys[-1] > node.keys[i]:
+                raise StorageError("separator violated on the right")
+
+    def _subtree_keys(self, node: _Node) -> list:
+        if node.leaf:
+            return node.keys
+        out: list = []
+        for child in node.children:
+            out.extend(self._subtree_keys(child))
+        return out
+
+
+class _PrefixBound:
+    """A lower bound that sorts immediately before every composite key
+    sharing the given prefix (used by :meth:`BTree.prefix_search`).
+
+    Comparisons with stored tuple keys go through the reflected operators:
+    ``stored < bound`` falls back to ``bound.__gt__(stored)``.
+    """
+
+    __slots__ = ("prefix",)
+
+    def __init__(self, prefix: tuple):
+        self.prefix = tuple(prefix)
+
+    def _head(self, other) -> tuple:
+        if isinstance(other, tuple):
+            return other[: len(self.prefix)]
+        return (other,)[: len(self.prefix)]
+
+    def __lt__(self, other) -> bool:
+        # bound < stored  <=>  prefix <= stored-head
+        return self.prefix <= self._head(other)
+
+    def __gt__(self, other) -> bool:
+        # bound > stored  <=>  stored-head < prefix
+        return self._head(other) < self.prefix
+
+    def __le__(self, other) -> bool:
+        return self.__lt__(other)
+
+    def __ge__(self, other) -> bool:
+        return self.__gt__(other)
+
+    def __eq__(self, other) -> bool:
+        return False
+
+    def __repr__(self) -> str:
+        return f"_PrefixBound({self.prefix!r})"

@@ -1,0 +1,101 @@
+"""Simulated page manager with I/O accounting.
+
+The original system's structures are disk resident; plan quality in the
+paper's optimizer is about page accesses.  Every node/bucket/page of the
+storage structures registers with a :class:`PageManager` and reports reads
+and writes, so benchmarks can report simulated I/O alongside wall-clock time
+— the substitution documented in DESIGN.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(slots=True)
+class IOStats:
+    """Counters of simulated page accesses."""
+
+    reads: int = 0
+    writes: int = 0
+    pages_allocated: int = 0
+
+    @property
+    def total(self) -> int:
+        return self.reads + self.writes
+
+    def snapshot(self) -> "IOStats":
+        return IOStats(self.reads, self.writes, self.pages_allocated)
+
+    def delta(self, earlier: "IOStats") -> "IOStats":
+        return IOStats(
+            self.reads - earlier.reads,
+            self.writes - earlier.writes,
+            self.pages_allocated - earlier.pages_allocated,
+        )
+
+    def reset(self) -> None:
+        self.reads = 0
+        self.writes = 0
+        self.pages_allocated = 0
+
+    def __str__(self) -> str:
+        return (
+            f"reads={self.reads} writes={self.writes} "
+            f"pages={self.pages_allocated}"
+        )
+
+
+class PageManager:
+    """Allocates page identifiers and accounts their accesses.
+
+    Structures call :meth:`allocate` per node/bucket, and :meth:`read` /
+    :meth:`write` on each access.  There is no buffer pool simulation — each
+    access counts once, which is the upper-bound cost model the paper's
+    optimizer reasons with.
+    """
+
+    __slots__ = ("stats", "_next_page")
+
+    def __init__(self) -> None:
+        self.stats = IOStats()
+        self._next_page = 0
+
+    def allocate(self) -> int:
+        self._next_page += 1
+        self.stats.pages_allocated += 1
+        return self._next_page
+
+    def free(self, page_id: int) -> None:
+        self.stats.pages_allocated -= 1
+
+    def read(self, page_id: int) -> None:
+        self.stats.reads += 1
+
+    def write(self, page_id: int) -> None:
+        self.stats.writes += 1
+
+    def measure(self) -> "_Measurement":
+        """Context manager yielding the I/O delta of the enclosed block."""
+        return _Measurement(self)
+
+
+class _Measurement:
+    __slots__ = ("_manager", "_before", "delta")
+
+    def __init__(self, manager: PageManager):
+        self._manager = manager
+        self._before: IOStats | None = None
+        self.delta: IOStats | None = None
+
+    def __enter__(self) -> "_Measurement":
+        self._before = self._manager.stats.snapshot()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        assert self._before is not None
+        self.delta = self._manager.stats.delta(self._before)
+
+
+GLOBAL_PAGES = PageManager()
+"""Default page manager used when a structure is not given its own."""

@@ -1,0 +1,30 @@
+"""The "SOS optimizer" front end (paper Sections 1 and 6).
+
+:class:`~repro.system.sos_system.SOSSystem` accepts mixed programs of
+model, representation and hybrid statements, classifies them, translates
+model-level updates and queries to the representation level through the
+rule-based optimizer, and executes the result.
+
+:func:`make_relational_system` assembles the complete relational stack —
+base + relational model + representation model + catalog — with the
+standard rule set; it is the one-call entry point used by the examples.
+"""
+
+from repro.system.dump import dump_program, restore_program
+from repro.system.sos_system import (
+    SOSSystem,
+    SystemResult,
+    make_model_interpreter,
+    make_relational_database,
+    make_relational_system,
+)
+
+__all__ = [
+    "SOSSystem",
+    "SystemResult",
+    "make_model_interpreter",
+    "make_relational_database",
+    "make_relational_system",
+    "dump_program",
+    "restore_program",
+]

@@ -1,0 +1,351 @@
+"""The SOS system: parse, classify, optimize, execute (paper Section 6).
+
+Processing of mixed programs follows the paper:
+
+* ``type`` statements are processed internally;
+* ``create`` / ``delete`` for *model* types are catalog management only
+  (the object carries no value — its data lives in representation
+  objects); representation and hybrid objects are initialized;
+* updates and queries whose result type is a *model* type are transformed
+  through optimization rules into equivalent representation-level
+  statements, which are then executed;
+* hybrid/representation statements are executed directly.
+
+The translated statements are recorded on the :class:`SystemResult` (the
+paper's ``=>``-prefixed generated statements), so a session transcript can
+be compared against Section 6 line by line.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.catalog import (
+    Database,
+    add_catalog_level,
+    register_catalog_carriers,
+)
+from repro.core.algebra import SecondOrderAlgebra, Stream
+from repro.core.sos import SignatureBuilder
+from repro.core.terms import Apply, ObjRef, Term, Var, format_term
+from repro.core.types import Type
+from repro.errors import CatalogError, OptimizationError, UpdateError
+from repro.lang.interpreter import Interpreter
+from repro.lang.parser import (
+    CreateStmt,
+    DeleteStmt,
+    QueryStmt,
+    Statement,
+    TypeStmt,
+    UpdateStmt,
+    split_statements,
+)
+from repro.models.base import add_base_level, register_base_carriers
+from repro.models.relational import add_relational_level, register_relational_carriers
+from repro.optimizer import Optimizer, standard_optimizer
+from repro.rep.model import add_representation_level, register_rep_carriers
+
+
+@dataclass(slots=True)
+class SystemResult:
+    """The outcome of one statement processed by the system."""
+
+    kind: str
+    level: str = "hybrid"  # 'model' | 'rep' | 'hybrid'
+    name: Optional[str] = None
+    type: Optional[Type] = None
+    value: object = None
+    term: Optional[Term] = None
+    translated_term: Optional[Term] = None
+    translated_target: Optional[str] = None
+    translated_source: Optional[str] = None
+    fired: list[str] = field(default_factory=list)
+
+    @property
+    def translated(self) -> bool:
+        return self.translated_term is not None
+
+    def generated_statement(self, concrete: bool = True) -> Optional[str]:
+        """The representation-level statement the optimizer generated
+        (the ``=>``-prefixed lines of the paper's Section 6 listing).
+
+        With ``concrete=True`` (the default) the expression is rendered in
+        the concrete syntax; otherwise in abstract (prefix) syntax.
+        """
+        if self.translated_term is None:
+            return None
+        if concrete and self.translated_source is not None:
+            text = self.translated_source
+        else:
+            text = format_term(self.translated_term)
+        if self.kind == "update" and self.translated_target is not None:
+            return f"update {self.translated_target} := {text}"
+        return f"query {text}"
+
+
+def make_relational_database() -> Database:
+    """The full relational stack: base + model + representation + catalog."""
+    builder = SignatureBuilder()
+    add_base_level(builder)
+    add_relational_level(builder)
+    add_representation_level(builder)
+    add_catalog_level(builder)
+    sos = builder.build()
+    algebra = SecondOrderAlgebra(sos)
+    register_base_carriers(algebra)
+    register_relational_carriers(algebra)
+    register_rep_carriers(algebra)
+    register_catalog_carriers(algebra)
+    return Database(sos, algebra)
+
+
+def make_model_interpreter() -> Interpreter:
+    """A plain interpreter over the full relational stack.
+
+    Executes *model-level* statements directly against in-memory relations
+    (Section 2.4 semantics, no optimizing translation) — relations here are
+    real values, not virtual objects backed by representations.  Use this
+    for model-only programs, including views over relations.
+    """
+    return Interpreter(make_relational_database())
+
+
+def make_relational_system(optimizer: Optional[Optimizer] = None) -> "SOSSystem":
+    """A ready-to-use system over the full relational stack, with the
+    standard rules and the ``rep`` catalog created (paper: "a catalog rep
+    has been created together with the database")."""
+    database = make_relational_database()
+    system = SOSSystem(
+        database, optimizer if optimizer is not None else standard_optimizer()
+    )
+    system.interpreter.run_one("create rep : catalog(ident, ident)")
+    return system
+
+
+class SOSSystem:
+    """Mixed-program processing with optimizing translation."""
+
+    def __init__(self, database: Database, optimizer: Optimizer):
+        self.database = database
+        self.optimizer = optimizer
+        self.interpreter = Interpreter(database)
+
+    # ------------------------------------------------------------------- API
+
+    def run(self, source: str) -> list[SystemResult]:
+        results = []
+        for chunk in split_statements(source):
+            statement = self.interpreter.make_parser().parse_statement(chunk)
+            results.append(self.execute(statement))
+        return results
+
+    def run_one(self, source: str) -> SystemResult:
+        statement = self.interpreter.make_parser().parse_statement(source)
+        return self.execute(statement)
+
+    def query(self, source: str):
+        """Convenience: run one query statement, return its value."""
+        result = self.run_one("query " + source)
+        return result.value
+
+    def explain(self, source: str) -> dict:
+        """Parse, typecheck and optimize a query *without executing it*.
+
+        Returns the chosen plan (concrete syntax), the rules that fired, the
+        estimated cost, and the statement's level — the optimizer's answer
+        to "what would you do with this query?".
+        """
+        from repro.core.terms import clone_term
+        from repro.optimizer.cost import estimate
+
+        statement = self.interpreter.make_parser().parse_statement(
+            source if source.lstrip().startswith("query") else "query " + source
+        )
+        if not isinstance(statement, QueryStmt):
+            raise UpdateError("explain only accepts query statements")
+        tc = self.database.typechecker
+        term = tc.check(statement.expr)
+        level = self._term_level(term)
+        fired: list[str] = []
+        plan = term
+        if level == "model":
+            work = tc.check(clone_term(term))
+            opt = self.optimizer.optimize(work, self.database)
+            plan = opt.term
+            fired = opt.fired
+        return {
+            "level": level,
+            "plan": self._concrete(plan),
+            "fired": fired,
+            "estimated_cost": estimate(plan, self.database),
+            "result_type": plan.type,
+        }
+
+    # ------------------------------------------------------------- execution
+
+    def execute(self, statement: Statement) -> SystemResult:
+        if isinstance(statement, TypeStmt):
+            t = self.database.define_type(statement.name, statement.type)
+            return SystemResult("type", name=statement.name, type=t)
+        if isinstance(statement, CreateStmt):
+            obj = self.database.create(statement.name, statement.type)
+            if obj.level != "model":
+                self.interpreter._auto_initialize(statement.name, statement.type)
+            return SystemResult(
+                "create", level=obj.level, name=statement.name, type=obj.type
+            )
+        if isinstance(statement, DeleteStmt):
+            self.database.drop(statement.name)
+            return SystemResult("delete", name=statement.name)
+        if isinstance(statement, UpdateStmt):
+            return self._execute_update(statement)
+        if isinstance(statement, QueryStmt):
+            return self._execute_query(statement)
+        raise TypeError(f"not a statement: {statement!r}")
+
+    def _term_level(self, term: Term) -> str:
+        """'model' if the term uses any model-level operator or object.
+
+        Lambda-bound names shadow objects, so the walk tracks scope — a
+        parameter that happens to be called like a relation is not a
+        reference to it.
+        """
+        levels: set[str] = set()
+        self._collect_levels(term, frozenset(), levels)
+        if "model" in levels:
+            return "model"
+        if "rep" in levels:
+            return "rep"
+        return "hybrid"
+
+    def _collect_levels(self, term: Term, bound: frozenset, levels: set) -> None:
+        from repro.core.terms import Call, Fun, ListTerm, TupleTerm
+
+        if isinstance(term, Apply):
+            if term.resolved is not None and term.resolved.spec is not None:
+                levels.add(term.resolved.spec.level)
+            for a in term.args:
+                self._collect_levels(a, bound, levels)
+            return
+        if isinstance(term, (Var, ObjRef)):
+            if term.name not in bound:
+                obj = self.database.objects.get(term.name)
+                if obj is not None:
+                    levels.add(obj.level)
+            return
+        if isinstance(term, Fun):
+            inner = bound | {name for name, _ in term.params}
+            self._collect_levels(term.body, inner, levels)
+            return
+        if isinstance(term, (ListTerm, TupleTerm)):
+            for item in term.items:
+                self._collect_levels(item, bound, levels)
+            return
+        if isinstance(term, Call):
+            self._collect_levels(term.fn, bound, levels)
+            for a in term.args:
+                self._collect_levels(a, bound, levels)
+
+    def _execute_update(self, statement: UpdateStmt) -> SystemResult:
+        obj = self.database.objects.get(statement.name)
+        if obj is None:
+            raise CatalogError(f"no such object: {statement.name}")
+        tc = self.database.typechecker
+        term = tc.check_value_term(statement.expr, obj.type)
+        level = self._term_level(term)
+        if obj.level != "model" and level != "model":
+            # Direct execution at the representation/hybrid level.
+            self.interpreter._check_update_root(term, statement.name)
+            value = self.database.evaluator.eval(term, allow_update=True)
+            if isinstance(value, Stream):
+                value = value.materialize()
+            self.database.set_value(statement.name, value)
+            return SystemResult(
+                "update", level=obj.level, name=statement.name,
+                type=obj.type, term=term,
+            )
+        # Model-level update: translate through the optimizer (on a clone,
+        # so the reported original statement term stays intact).
+        from repro.core.terms import clone_term
+
+        work = tc.check_value_term(clone_term(term), obj.type)
+        opt = self.optimizer.optimize(work, self.database)
+        translated = opt.term
+        if self._term_level(translated) == "model":
+            raise OptimizationError(
+                f"no rule translates the model update on {statement.name}: "
+                f"{format_term(term)}"
+            )
+        target = self._update_target(translated)
+        value = self.database.evaluator.eval(translated, allow_update=True)
+        if isinstance(value, Stream):
+            value = value.materialize()
+        self.database.set_value(target, value)
+        return SystemResult(
+            "update",
+            level="model",
+            name=statement.name,
+            type=obj.type,
+            term=term,
+            translated_term=translated,
+            translated_target=target,
+            translated_source=self._concrete(translated),
+            fired=opt.fired,
+        )
+
+    def _update_target(self, translated: Term) -> str:
+        """The representation object a translated update assigns to —
+        the first argument of the root update function."""
+        if (
+            isinstance(translated, Apply)
+            and translated.resolved is not None
+            and translated.resolved.is_update
+            and translated.args
+            and isinstance(translated.args[0], (Var, ObjRef))
+        ):
+            return translated.args[0].name
+        raise UpdateError(
+            "translated update is not an update function on a representation "
+            f"object: {format_term(translated)}"
+        )
+
+    def _execute_query(self, statement: QueryStmt) -> SystemResult:
+        tc = self.database.typechecker
+        term = tc.check(statement.expr)
+        level = self._term_level(term)
+        translated_term = None
+        fired: list[str] = []
+        exec_term = term
+        if level == "model":
+            from repro.core.terms import clone_term
+
+            work = tc.check(clone_term(term))
+            opt = self.optimizer.optimize(work, self.database)
+            if self._term_level(opt.term) == "model":
+                raise OptimizationError(
+                    f"no rule translates the model query: {format_term(term)}"
+                )
+            exec_term = opt.term
+            translated_term = opt.term
+            fired = opt.fired
+        value = self.database.evaluator.eval(exec_term)
+        if isinstance(value, Stream):
+            value = value.materialize()
+        return SystemResult(
+            "query",
+            level=level,
+            type=exec_term.type,
+            value=value,
+            term=term,
+            translated_term=translated_term,
+            translated_source=(
+                self._concrete(translated_term) if translated_term is not None else None
+            ),
+            fired=fired,
+        )
+
+    def _concrete(self, term: Term) -> str:
+        from repro.lang.printer import format_concrete
+
+        return format_concrete(term, self.database.sos)

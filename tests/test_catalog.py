@@ -1,0 +1,89 @@
+"""Catalog as an algebraic structure (Section 6)."""
+
+import pytest
+
+from repro.catalog.catalog import CatalogValue
+from repro.core.types import Sym, TypeApp
+from repro.errors import TypeCheckError
+from repro.system import make_relational_system
+
+CAT2 = TypeApp("catalog", (TypeApp("ident"), TypeApp("ident")))
+
+
+class TestCatalogValue:
+    def test_insert_and_width(self):
+        cat = CatalogValue(CAT2)
+        cat.insert((Sym("a"), Sym("b")))
+        assert len(cat) == 1
+        assert cat.width == 2
+
+    def test_insert_deduplicates(self):
+        cat = CatalogValue(CAT2)
+        cat.insert((Sym("a"), Sym("b")))
+        cat.insert((Sym("a"), Sym("b")))
+        assert len(cat) == 1
+
+    def test_wrong_width_rejected(self):
+        cat = CatalogValue(CAT2)
+        with pytest.raises(ValueError):
+            cat.insert((Sym("a"),))
+
+    def test_lookup_wildcards(self):
+        cat = CatalogValue(CAT2)
+        cat.insert((Sym("cities"), Sym("cities_rep")))
+        cat.insert((Sym("cities"), Sym("cities_idx")))
+        cat.insert((Sym("states"), Sym("states_rep")))
+        assert len(list(cat.lookup((Sym("cities"), None)))) == 2
+        assert len(list(cat.lookup((None, None)))) == 3
+        assert list(cat.lookup((Sym("x"), None))) == []
+
+    def test_lookup_pattern_width_checked(self):
+        cat = CatalogValue(CAT2)
+        with pytest.raises(ValueError):
+            list(cat.lookup((None,)))
+
+    def test_remove(self):
+        cat = CatalogValue(CAT2)
+        cat.insert((Sym("a"), Sym("b")))
+        assert cat.remove((Sym("a"), Sym("b")))
+        assert not cat.remove((Sym("a"), Sym("b")))
+
+
+class TestCatalogInLanguage:
+    def test_create_catalog(self):
+        system = make_relational_system()
+        system.run_one("create mycat : catalog(ident, ident, ident)")
+        value = system.database.objects["mycat"].value
+        assert isinstance(value, CatalogValue)
+        assert value.width == 3
+
+    def test_insert_object_names_as_idents(self):
+        system = make_relational_system()
+        system.run(
+            """
+type t = tuple(<(a, int)>)
+create r : rel(t)
+create r_rep : srel(t)
+update rep := insert(rep, r, r_rep)
+"""
+        )
+        cat = system.database.objects["rep"].value
+        assert (Sym("r"), Sym("r_rep")) in cat.rows
+
+    def test_cat_remove(self):
+        system = make_relational_system()
+        system.run(
+            """
+type t = tuple(<(a, int)>)
+create r : rel(t)
+create r_rep : srel(t)
+update rep := insert(rep, r, r_rep)
+update rep := cat_remove(rep, r, r_rep)
+"""
+        )
+        assert len(system.database.objects["rep"].value) == 0
+
+    def test_width_mismatch_rejected_at_typecheck(self):
+        system = make_relational_system()
+        with pytest.raises(TypeCheckError):
+            system.run_one("update rep := insert(rep, a, b, c)")

@@ -1,0 +1,95 @@
+"""The command-line front end (python -m repro)."""
+
+import subprocess
+import sys
+import textwrap
+
+import pytest
+
+
+def run_cli(args, stdin=""):
+    return subprocess.run(
+        [sys.executable, "-m", "repro", *args],
+        input=stdin,
+        capture_output=True,
+        text=True,
+        timeout=60,
+    )
+
+
+@pytest.fixture()
+def program_file(tmp_path):
+    path = tmp_path / "program.sos"
+    path.write_text(
+        textwrap.dedent(
+            """
+            type city = tuple(<(cname, string), (pop, int)>)
+            create cities : rel(city)
+            create cities_rep : btree(city, pop, int)
+            update rep := insert(rep, cities, cities_rep)
+            update cities := insert(cities, mktuple[<(cname, "Berlin"), (pop, 3500000)>])
+            query cities select[pop >= 1000000]
+            """
+        )
+    )
+    return path
+
+
+class TestFileExecution:
+    def test_program_runs_and_translates(self, program_file):
+        result = run_cli([str(program_file)])
+        assert result.returncode == 0, result.stderr
+        assert "=> update cities_rep := insert(cities_rep" in result.stdout
+        assert "Berlin" in result.stdout
+        assert "(1 row(s))" in result.stdout
+
+    def test_model_mode(self, tmp_path):
+        path = tmp_path / "m.sos"
+        path.write_text(
+            "type t = tuple(<(a, int)>)\n"
+            "create r : rel(t)\n"
+            "update r := insert(r, mktuple[<(a, 7)>])\n"
+            "query r select[a = 7]\n"
+        )
+        result = run_cli(["--model", str(path)])
+        assert result.returncode == 0, result.stderr
+        assert "=>" not in result.stdout  # no translation at model level
+        assert "(1 row(s))" in result.stdout
+
+    def test_error_reported(self, tmp_path):
+        path = tmp_path / "bad.sos"
+        path.write_text("query nonsense select[x > 1]\n")
+        result = run_cli([str(path)])
+        assert result.returncode == 1
+        assert "error:" in result.stderr
+
+
+class TestRepl:
+    def test_query_and_quit(self):
+        result = run_cli(["--model"], stdin="query 1 + 2 * 3\n\n\\q\n")
+        assert result.returncode == 0
+        assert "7" in result.stdout
+
+    def test_multiline_statement(self):
+        stdin = (
+            "type t = tuple(<(a, int)>)\n"
+            "create r : rel(t)\n"
+            "query r\n"
+            "   select[a > 0]\n"
+            "\n"
+            "\\q\n"
+        )
+        result = run_cli(["--model"], stdin=stdin)
+        assert result.returncode == 0
+        assert "(0 row(s))" in result.stdout
+
+    def test_objects_command(self):
+        stdin = "type t = tuple(<(a, int)>)\ncreate r : rel(t)\n\n\\objects\n\\q\n"
+        result = run_cli(["--model"], stdin=stdin)
+        assert "r : rel" in result.stdout
+
+    def test_error_does_not_kill_repl(self):
+        stdin = "query ghost\n\nquery 1 + 1\n\n\\q\n"
+        result = run_cli(["--model"], stdin=stdin)
+        assert "error:" in result.stdout
+        assert "2" in result.stdout

@@ -1,0 +1,138 @@
+"""Rule conditions in isolation: catalog lookups, type tests, backtracking."""
+
+import pytest
+
+from repro.core.patterns import PApp, PVar
+from repro.core.terms import Var
+from repro.core.types import Sym, TypeApp, rel_type, tuple_type
+from repro.optimizer.conditions import (
+    CatalogCondition,
+    FunCondition,
+    TypeCondition,
+    solve_conditions,
+)
+from repro.optimizer.termmatch import MatchState
+
+INT = TypeApp("int")
+CITY = tuple_type([("pop", INT)])
+
+
+@pytest.fixture()
+def db(system):
+    system.run(
+        """
+type city = tuple(<(pop, int)>)
+create cities : rel(city)
+create rep1 : srel(city)
+create rep2 : btree(city, pop, int)
+update rep := insert(rep, cities, rep1)
+update rep := insert(rep, cities, rep2)
+"""
+    )
+    return system.database
+
+
+def _state_with_rel(db):
+    state = MatchState()
+    term = Var("cities")
+    term.type = db.type_of("cities")
+    state.vbinds["rel1"] = term
+    return state
+
+
+class TestCatalogCondition:
+    def test_enumerates_all_representations(self, db):
+        condition = CatalogCondition("rep", ("rel1", "r"))
+        solutions = list(condition.solutions(_state_with_rel(db), db))
+        assert len(solutions) == 2
+        names = {s.vbinds["r"].name for s in solutions}
+        assert names == {"rep1", "rep2"}
+
+    def test_bound_variables_constrain(self, db):
+        state = _state_with_rel(db)
+        bound = Var("rep2")
+        bound.type = db.type_of("rep2")
+        state.vbinds["r"] = bound
+        condition = CatalogCondition("rep", ("rel1", "r"))
+        solutions = list(condition.solutions(state, db))
+        assert len(solutions) == 1
+
+    def test_missing_catalog_yields_nothing(self, db):
+        condition = CatalogCondition("nope", ("rel1", "r"))
+        assert list(condition.solutions(_state_with_rel(db), db)) == []
+
+    def test_bound_objects_get_types(self, db):
+        condition = CatalogCondition("rep", ("rel1", "r"))
+        for solution in condition.solutions(_state_with_rel(db), db):
+            assert solution.vbinds["r"].type is not None
+
+
+class TestTypeCondition:
+    def test_direct_match_binds_pattern_vars(self, db):
+        state = _state_with_rel(db)
+        state.vbinds["r"] = _obj(db, "rep2")
+        condition = TypeCondition(
+            "r", PApp("btree", (PVar("t"), PVar("a"), PVar("d")))
+        )
+        (solution,) = list(condition.solutions(state, db))
+        assert solution.tbinds["a"] == Sym("pop")
+        assert solution.tbinds["d"] == INT
+
+    def test_subtype_match(self, db):
+        state = _state_with_rel(db)
+        state.vbinds["r"] = _obj(db, "rep2")
+        condition = TypeCondition(
+            "r", PApp("relrep", (PVar("t"),)), subtype_ok=True
+        )
+        assert len(list(condition.solutions(state, db))) == 1
+
+    def test_no_subtype_without_flag(self, db):
+        state = _state_with_rel(db)
+        state.vbinds["r"] = _obj(db, "rep2")
+        condition = TypeCondition("r", PApp("relrep", (PVar("t"),)))
+        assert list(condition.solutions(state, db)) == []
+
+    def test_unbound_variable_yields_nothing(self, db):
+        condition = TypeCondition("ghost", PApp("relrep", (PVar("t"),)))
+        assert list(condition.solutions(MatchState(), db)) == []
+
+
+class TestFunCondition:
+    def test_boolean_filter(self, db):
+        yes = FunCondition(lambda state, db: True)
+        no = FunCondition(lambda state, db: False)
+        state = MatchState()
+        assert list(yes.solutions(state, db)) == [state]
+        assert list(no.solutions(state, db)) == []
+
+    def test_generator_form(self, db):
+        def expand(state, db):
+            for i in range(3):
+                new = state.copy()
+                new.tbinds["i"] = Sym(str(i))
+                yield new
+
+        condition = FunCondition(expand)
+        assert len(list(condition.solutions(MatchState(), db))) == 3
+
+
+class TestBacktracking:
+    def test_later_conditions_filter_earlier_solutions(self, db):
+        """rep(rel1, r) has two solutions; the btree type test keeps one."""
+        conditions = (
+            CatalogCondition("rep", ("rel1", "r")),
+            TypeCondition("r", PApp("btree", (PVar("t"), PVar("a"), PVar("d")))),
+        )
+        solutions = list(solve_conditions(conditions, _state_with_rel(db), db))
+        assert len(solutions) == 1
+        assert solutions[0].vbinds["r"].name == "rep2"
+
+    def test_empty_condition_list(self, db):
+        state = MatchState()
+        assert list(solve_conditions((), state, db)) == [state]
+
+
+def _obj(db, name):
+    term = Var(name)
+    term.type = db.type_of(name)
+    return term

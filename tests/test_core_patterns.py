@@ -1,0 +1,134 @@
+"""Type pattern matching — reproduces Figure 1 of the paper (E7)."""
+
+import pytest
+
+from repro.core.patterns import (
+    PAny,
+    PApp,
+    PBind,
+    PFun,
+    PList,
+    PLit,
+    PSym,
+    PTuple,
+    PVar,
+    instantiate_pattern,
+    match_type,
+    pattern_variables,
+)
+from repro.core.types import (
+    ArgList,
+    ArgTuple,
+    FunType,
+    Lit,
+    Sym,
+    TypeApp,
+    tuple_type,
+)
+
+INT = TypeApp("int")
+STRING = TypeApp("string")
+
+PERSON = tuple_type([("name", STRING), ("age", INT)])
+STREAM_PERSON = TypeApp("stream", (PERSON,))
+
+
+class TestFigure1:
+    """The term tree / pattern of the paper's Figure 1."""
+
+    FIG1 = PBind(
+        "stream",
+        PApp("stream", (PBind("tuple", PApp("tuple", (PVar("list"),))),)),
+    )
+
+    def test_pattern_matches_and_binds_all_variables(self):
+        bindings = match_type(self.FIG1, STREAM_PERSON)
+        assert bindings is not None
+        assert bindings["stream"] == STREAM_PERSON
+        assert bindings["tuple"] == PERSON
+        assert bindings["list"] == PERSON.args[0]
+
+    def test_bound_list_holds_the_attribute_pairs(self):
+        bindings = match_type(self.FIG1, STREAM_PERSON)
+        pairs = bindings["list"]
+        assert isinstance(pairs, ArgList)
+        assert pairs.items[0] == ArgTuple((Sym("name"), STRING))
+
+    def test_wrong_outer_constructor_fails(self):
+        assert match_type(self.FIG1, TypeApp("srel", (PERSON,))) is None
+
+    def test_inner_node_must_be_tuple(self):
+        assert match_type(self.FIG1, TypeApp("stream", (INT,))) is None
+
+
+class TestMatching:
+    def test_pvar_binds_anything(self):
+        assert match_type(PVar("x"), INT) == {"x": INT}
+
+    def test_nonlinear_pattern_requires_equal(self):
+        # union: rel+ -> rel relies on repeated variables matching equally
+        pattern = PApp("pair", (PVar("x"), PVar("x")))
+        ok = TypeApp("pair", (INT, INT))
+        bad = TypeApp("pair", (INT, STRING))
+        assert match_type(pattern, ok) is not None
+        assert match_type(pattern, bad) is None
+
+    def test_existing_bindings_are_respected(self):
+        assert match_type(PVar("x"), INT, {"x": STRING}) is None
+        assert match_type(PVar("x"), INT, {"x": INT}) == {"x": INT}
+
+    def test_input_bindings_not_mutated(self):
+        seed = {}
+        match_type(PVar("x"), INT, seed)
+        assert seed == {}
+
+    def test_psym_plit(self):
+        assert match_type(PSym("pop"), Sym("pop")) is not None
+        assert match_type(PSym("pop"), Sym("name")) is None
+        assert match_type(PLit(4), Lit(4)) is not None
+        assert match_type(PLit(4), Lit(5)) is None
+
+    def test_plist_matches_every_item(self):
+        pattern = PList(PTuple((PAny(), PVar("t"))))
+        same = ArgList((ArgTuple((Sym("a"), INT)), ArgTuple((Sym("b"), INT))))
+        mixed = ArgList((ArgTuple((Sym("a"), INT)), ArgTuple((Sym("b"), STRING))))
+        assert match_type(pattern, same) is not None
+        assert match_type(pattern, mixed) is None  # non-linear t
+
+    def test_pfun(self):
+        pattern = PFun((PVar("a"),), PVar("r"))
+        t = FunType((PERSON,), TypeApp("bool"))
+        bindings = match_type(pattern, t)
+        assert bindings == {"a": PERSON, "r": TypeApp("bool")}
+
+    def test_arity_mismatch(self):
+        assert match_type(PApp("rel", (PVar("t"),)), TypeApp("rel", ())) is None
+
+
+class TestInstantiation:
+    def test_roundtrip(self):
+        pattern = PApp("rel", (PVar("t"),))
+        t = TypeApp("rel", (PERSON,))
+        bindings = match_type(pattern, t)
+        assert instantiate_pattern(pattern, bindings) == t
+
+    def test_subtype_rule_shape(self):
+        # btree(tuple, attr, dtype) instantiated as relrep(tuple)
+        bindings = match_type(
+            PApp("btree", (PVar("tuple"), PVar("a"), PVar("d"))),
+            TypeApp("btree", (PERSON, Sym("age"), INT)),
+        )
+        sup = instantiate_pattern(PApp("relrep", (PVar("tuple"),)), bindings)
+        assert sup == TypeApp("relrep", (PERSON,))
+
+    def test_unbound_variable_raises(self):
+        with pytest.raises(KeyError):
+            instantiate_pattern(PVar("nope"), {})
+
+
+class TestPatternVariables:
+    def test_collects_all(self):
+        pattern = PBind(
+            "s", PApp("stream", (PBind("t", PApp("tuple", (PVar("l"),))),))
+        )
+        assert pattern_variables(pattern) == {"s", "t", "l"}

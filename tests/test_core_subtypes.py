@@ -1,0 +1,76 @@
+"""Subtype specifications (paper Section 4)."""
+
+import pytest
+
+from repro.core.patterns import PApp, PVar
+from repro.core.subtypes import SubtypeRelation, SubtypeRule
+from repro.core.types import Sym, TypeApp, tuple_type
+from repro.errors import SpecificationError
+
+INT = TypeApp("int")
+CITY = tuple_type([("name", TypeApp("string")), ("pop", INT)])
+
+BTREE_CITY = TypeApp("btree", (CITY, Sym("pop"), INT))
+SREL_CITY = TypeApp("srel", (CITY,))
+RELREP_CITY = TypeApp("relrep", (CITY,))
+
+
+@pytest.fixture()
+def relation():
+    rel = SubtypeRelation()
+    rel.add(
+        SubtypeRule(
+            PApp("btree", (PVar("tuple"), PVar("a"), PVar("d"))),
+            PApp("relrep", (PVar("tuple"),)),
+        )
+    )
+    rel.add(SubtypeRule(PApp("srel", (PVar("tuple"),)), PApp("relrep", (PVar("tuple"),))))
+    return rel
+
+
+class TestRules:
+    def test_right_side_variables_must_be_bound(self):
+        with pytest.raises(SpecificationError):
+            SubtypeRule(PApp("a", (PVar("x"),)), PApp("b", (PVar("y"),)))
+
+
+class TestRelation:
+    def test_btree_is_relrep(self, relation):
+        assert relation.is_subtype(BTREE_CITY, RELREP_CITY)
+
+    def test_srel_is_relrep(self, relation):
+        assert relation.is_subtype(SREL_CITY, RELREP_CITY)
+
+    def test_reflexive(self, relation):
+        assert relation.is_subtype(CITY, CITY)
+
+    def test_not_symmetric(self, relation):
+        assert not relation.is_subtype(RELREP_CITY, BTREE_CITY)
+
+    def test_tuple_argument_must_agree(self, relation):
+        other = TypeApp("relrep", (tuple_type([("x", INT)]),))
+        assert not relation.is_subtype(BTREE_CITY, other)
+
+    def test_supertypes_include_self(self, relation):
+        sups = relation.supertypes(BTREE_CITY)
+        assert BTREE_CITY in sups
+        assert RELREP_CITY in sups
+
+    def test_transitivity(self):
+        rel = SubtypeRelation(
+            [
+                SubtypeRule(PApp("a", (PVar("t"),)), PApp("b", (PVar("t"),))),
+                SubtypeRule(PApp("b", (PVar("t"),)), PApp("c", (PVar("t"),))),
+            ]
+        )
+        assert rel.is_subtype(TypeApp("a", (INT,)), TypeApp("c", (INT,)))
+
+    def test_cyclic_rules_terminate(self):
+        rel = SubtypeRelation(
+            [
+                SubtypeRule(PApp("a", (PVar("t"),)), PApp("b", (PVar("t"),))),
+                SubtypeRule(PApp("b", (PVar("t"),)), PApp("a", (PVar("t"),))),
+            ]
+        )
+        assert rel.is_subtype(TypeApp("a", (INT,)), TypeApp("b", (INT,)))
+        assert rel.is_subtype(TypeApp("b", (INT,)), TypeApp("a", (INT,)))

@@ -1,0 +1,167 @@
+"""Dump/restore: persistence through the language itself."""
+
+import pytest
+
+from repro.system import dump_program, make_relational_system, restore_program
+
+
+class TestDumpRestore:
+    def test_roundtrip_rebuilds_everything(self, loaded_system):
+        text = dump_program(loaded_system.database)
+        fresh = make_relational_system()
+        restore_program(fresh, text)
+
+        # named types
+        assert fresh.database.aliases.keys() == loaded_system.database.aliases.keys()
+        # objects
+        assert set(fresh.database.objects) == set(loaded_system.database.objects)
+        # structure contents
+        old_bt = loaded_system.database.objects["cities_rep"].value
+        new_bt = fresh.database.objects["cities_rep"].value
+        assert sorted(t.attr("cname") for t in old_bt.scan()) == sorted(
+            t.attr("cname") for t in new_bt.scan()
+        )
+        # catalog rows
+        assert (
+            fresh.database.objects["rep"].value.rows
+            == loaded_system.database.objects["rep"].value.rows
+        )
+
+    def test_restored_system_answers_queries_identically(self, loaded_system):
+        text = dump_program(loaded_system.database)
+        fresh = make_relational_system()
+        restore_program(fresh, text)
+        for query in (
+            "query cities select[pop >= 5000]",
+            "query cities states join[center inside region]",
+        ):
+            a = loaded_system.run_one(query)
+            b = fresh.run_one(query)
+            ka = sorted(t.attr("cname") for t in a.value)
+            kb = sorted(t.attr("cname") for t in b.value)
+            assert ka == kb
+
+    def test_polygons_round_trip(self, loaded_system):
+        text = dump_program(loaded_system.database)
+        fresh = make_relational_system()
+        restore_program(fresh, text)
+        old_lsd = loaded_system.database.objects["states_rep"].value
+        new_lsd = fresh.database.objects["states_rep"].value
+        old_regions = sorted(str(t.attr("region")) for t in old_lsd.scan())
+        new_regions = sorted(str(t.attr("region")) for t in new_lsd.scan())
+        assert old_regions == new_regions
+
+    def test_dump_is_readable_program_text(self, loaded_system):
+        text = dump_program(loaded_system.database)
+        assert text.startswith("-- database dump")
+        assert "type city = tuple(<(cname, string)" in text
+        assert "create cities : rel(city)" in text
+        assert "update rep := insert(rep, cities, cities_rep)" in text
+        assert 'mktuple[<(cname, "c0")' in text
+
+    def test_scalar_and_tuple_objects(self, system):
+        system.run(
+            """
+type t = tuple(<(a, int), (flag, bool)>)
+create one : t
+"""
+        )
+        from repro.core.algebra import TupleValue
+
+        system.database.set_value(
+            "one", TupleValue(system.database.aliases["t"], (7, True))
+        )
+        text = dump_program(system.database)
+        fresh = make_relational_system()
+        restore_program(fresh, text)
+        restored = fresh.database.objects["one"].value
+        assert restored.attr("a") == 7
+        assert restored.attr("flag") is True
+
+
+class TestDumpProperty:
+    def test_random_data_roundtrips(self):
+        from hypothesis import given, settings
+        from hypothesis import strategies as st
+
+        @given(
+            st.lists(
+                st.tuples(
+                    st.text(
+                        alphabet="abcdefghijklmnopqrstuvwxyz", min_size=1, max_size=8
+                    ),
+                    st.integers(-10**6, 10**6),
+                    st.floats(-100, 100, allow_nan=False),
+                    st.booleans(),
+                ),
+                max_size=15,
+            )
+        )
+        @settings(max_examples=20, deadline=None)
+        def check(rows):
+            system = make_relational_system()
+            system.run(
+                """
+type row = tuple(<(s, string), (i, int), (r, real), (b, bool)>)
+create data : srel(row)
+"""
+            )
+            from repro.models.relational import make_tuple
+
+            srel = system.database.objects["data"].value
+            row_t = system.database.aliases["row"]
+            for s, i, r, b in rows:
+                srel.append(make_tuple(row_t, s=s, i=i, r=r, b=b))
+            text = dump_program(system.database)
+            fresh = make_relational_system()
+            restore_program(fresh, text)
+            restored = fresh.database.objects["data"].value
+            assert sorted(map(repr, restored.scan())) == sorted(
+                map(repr, srel.scan())
+            )
+
+        check()
+
+
+class TestUndumpableValues:
+    def test_function_valued_objects_become_notes(self):
+        from repro.system import make_model_interpreter
+
+        interp = make_model_interpreter()
+        interp.run(
+            """
+type t = tuple(<(a, int)>)
+create r : rel(t)
+create v : (-> rel(t))
+update v := fun () r select[a > 0]
+"""
+        )
+        text = dump_program(interp.database)
+        assert "-- note: function-valued object v is not dumped" in text
+
+    def test_graph_values_become_notes(self):
+        from repro.catalog import Database
+        from repro.lang import Interpreter
+        from repro.models.graph import graph_model
+
+        sos, algebra = graph_model()
+        interp = Interpreter(Database(sos, algebra))
+        interp.run(
+            """
+type n = tuple(<(a, int)>)
+create g : graph(n, n)
+"""
+        )
+        text = dump_program(interp.database)
+        assert "no program representation" in text
+
+
+class TestBoolLiterals:
+    def test_true_false_in_expressions(self, system):
+        assert system.run_one("query true").value is True
+        assert system.run_one("query false and true").value is False
+        assert system.run_one("query not(false)").value is True
+
+    def test_bool_in_mktuple(self, system):
+        r = system.run_one("query mktuple[<(ok, true)>]")
+        assert r.value.attr("ok") is True

@@ -1,0 +1,40 @@
+"""EXPLAIN: the optimizer's decision without execution."""
+
+import pytest
+
+from repro.errors import UpdateError
+
+
+class TestExplain:
+    def test_indexed_selection(self, loaded_system):
+        info = loaded_system.explain("cities select[pop >= 5000]")
+        assert info["level"] == "model"
+        assert info["fired"] == ["select_ge_btree_range"]
+        assert info["plan"].startswith("cities_rep range[5000, top")
+        assert info["estimated_cost"] < 50
+
+    def test_scan_costs_more(self, loaded_system):
+        indexed = loaded_system.explain("cities select[pop >= 5000]")
+        scan = loaded_system.explain("cities_rep feed filter[pop >= 5000]")
+        assert scan["level"] == "rep"
+        assert scan["fired"] == []
+        assert indexed["estimated_cost"] < scan["estimated_cost"]
+
+    def test_explain_does_not_execute(self, loaded_system):
+        bt = loaded_system.database.objects["cities_rep"].value
+        before = len(bt)
+        loaded_system.explain("cities select[pop >= 0]")
+        assert len(bt) == before
+
+    def test_accepts_query_prefix(self, loaded_system):
+        info = loaded_system.explain("query cities select[pop >= 5000]")
+        assert info["fired"]
+
+    def test_rejects_updates(self, loaded_system):
+        with pytest.raises(Exception):
+            loaded_system.explain("update cities := empty")
+
+    def test_spatial_join_plan(self, loaded_system):
+        info = loaded_system.explain("cities states join[center inside region]")
+        assert info["fired"] == ["join_inside_lsdtree"]
+        assert "point_search" in info["plan"]

@@ -1,0 +1,104 @@
+"""Fuzzing the front end: arbitrary input must fail *cleanly*.
+
+Whatever garbage (or near-miss program) arrives, the lexer/parser/
+typechecker must either succeed or raise a library error (:class:`SOSError`)
+— never an arbitrary Python exception.  This is the robustness contract of
+a front end meant to sit in front of user queries.
+"""
+
+import string
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import SOSError
+from repro.lang.lexer import tokenize
+from repro.system import make_relational_system
+
+SYSTEM = make_relational_system()
+SYSTEM.run(
+    """
+type city = tuple(<(cname, string), (pop, int)>)
+create cities : rel(city)
+create cities_rep : btree(city, pop, int)
+update rep := insert(rep, cities, cities_rep)
+"""
+)
+
+# Alphabet biased towards the language's own tokens for deeper penetration.
+TOKENS = [
+    "query", "update", "create", "type", "delete", "fun", ":=", "=", "<", ">",
+    "<=", ">=", "(", ")", "[", "]", "<", ">", ",", "select", "feed", "filter",
+    "cities", "cities_rep", "pop", "cname", "1", "2.5", '"x"', "insert",
+    "mktuple", "+", "*", "and", "bottom", "range", "count", ":", "->", "rel",
+    "tuple", "int", "string",
+]
+
+
+@st.composite
+def token_soup(draw):
+    parts = draw(st.lists(st.sampled_from(TOKENS), min_size=1, max_size=25))
+    return " ".join(parts)
+
+
+class TestLexer:
+    @given(st.text(alphabet=string.printable, max_size=80))
+    @settings(max_examples=150, deadline=None)
+    def test_tokenize_never_crashes(self, text):
+        try:
+            tokenize(text)
+        except SOSError:
+            pass
+
+    @given(st.text(max_size=40))
+    @settings(max_examples=80, deadline=None)
+    def test_tokenize_unicode(self, text):
+        try:
+            tokenize(text)
+        except SOSError:
+            pass
+
+
+class TestParserAndSystem:
+    @given(token_soup())
+    @settings(max_examples=200, deadline=None)
+    def test_statement_processing_fails_cleanly(self, soup):
+        for prefix in ("query ", ""):
+            try:
+                SYSTEM.run(prefix + soup)
+            except SOSError:
+                pass
+            except RecursionError:
+                pass  # pathological nesting is acceptable to reject this way
+
+    @given(st.text(alphabet=string.printable, max_size=60))
+    @settings(max_examples=120, deadline=None)
+    def test_raw_text_fails_cleanly(self, text):
+        try:
+            SYSTEM.run(text)
+        except SOSError:
+            pass
+
+
+class TestNearMissPrograms:
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "query cities select[pop >]",
+            "query cities select pop > 1]",
+            "query cities select[pop > 1",
+            "update cities insert(cities)",
+            "create cities",
+            "type t tuple(<(a, int)>)",
+            "query <cities,> union",
+            "query fun () ",
+            "query mktuple[<(a, )>]",
+            "create x : rel(tuple(<(a, int)>) )extra",
+            "query cities_rep range[bottom]",
+            "query cities_rep feed feed",
+        ],
+    )
+    def test_specific_near_misses(self, text):
+        with pytest.raises(SOSError):
+            SYSTEM.run(text)

@@ -1,0 +1,108 @@
+"""Spatial data types: point / rect / pgon with inside and bbox."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry import Point, Polygon, Rect
+
+coords = st.floats(min_value=-1000, max_value=1000, allow_nan=False)
+
+
+def rects():
+    return st.tuples(coords, coords, coords, coords).map(
+        lambda c: Rect(min(c[0], c[2]), min(c[1], c[3]), max(c[0], c[2]), max(c[1], c[3]))
+    )
+
+
+def points():
+    return st.tuples(coords, coords).map(lambda c: Point(c[0], c[1]))
+
+
+class TestRect:
+    def test_degenerate_rejected(self):
+        with pytest.raises(ValueError):
+            Rect(1, 0, 0, 1)
+
+    def test_contains_point(self):
+        r = Rect(0, 0, 10, 10)
+        assert r.contains_point(Point(5, 5))
+        assert r.contains_point(Point(0, 0))  # boundary counts
+        assert not r.contains_point(Point(11, 5))
+
+    def test_contains_rect(self):
+        assert Rect(0, 0, 10, 10).contains_rect(Rect(1, 1, 9, 9))
+        assert not Rect(0, 0, 10, 10).contains_rect(Rect(1, 1, 11, 9))
+
+    def test_intersects(self):
+        assert Rect(0, 0, 5, 5).intersects(Rect(4, 4, 9, 9))
+        assert not Rect(0, 0, 5, 5).intersects(Rect(6, 6, 9, 9))
+        assert Rect(0, 0, 5, 5).intersects(Rect(5, 5, 9, 9))  # touching
+
+    @given(rects(), rects())
+    def test_intersects_symmetric(self, a, b):
+        assert a.intersects(b) == b.intersects(a)
+
+    @given(rects(), rects())
+    def test_union_contains_both(self, a, b):
+        u = a.union(b)
+        assert u.contains_rect(a) and u.contains_rect(b)
+
+    @given(rects())
+    def test_center_inside(self, r):
+        assert r.contains_point(r.center)
+
+    def test_area(self):
+        assert Rect(0, 0, 2, 3).area == 6
+
+
+class TestPolygon:
+    def test_needs_three_vertices(self):
+        with pytest.raises(ValueError):
+            Polygon((Point(0, 0), Point(1, 1)))
+
+    def test_rectangle_factory(self):
+        p = Polygon.rectangle(0, 0, 10, 5)
+        assert p.bbox() == Rect(0, 0, 10, 5)
+
+    def test_from_coords(self):
+        p = Polygon.from_coords([(0, 0), (4, 0), (2, 3)])
+        assert len(p.vertices) == 3
+
+    def test_contains_point_triangle(self):
+        tri = Polygon.from_coords([(0, 0), (10, 0), (5, 10)])
+        assert tri.contains_point(Point(5, 3))
+        assert not tri.contains_point(Point(0, 10))
+        assert tri.contains_point(Point(5, 0))  # on an edge
+
+    def test_concave_polygon(self):
+        # A "U" shape: the notch is outside
+        u = Polygon.from_coords(
+            [(0, 0), (10, 0), (10, 10), (7, 10), (7, 3), (3, 3), (3, 10), (0, 10)]
+        )
+        assert not u.contains_point(Point(5, 8))  # inside the notch
+        assert u.contains_point(Point(1, 8))
+        assert u.contains_point(Point(5, 1))
+
+    @given(points())
+    @settings(max_examples=60)
+    def test_bbox_contains_every_contained_point(self, p):
+        # Boundary tests use a small epsilon, so expand the box accordingly.
+        poly = Polygon.from_coords([(0, 0), (50, 10), (30, 60), (-10, 40)])
+        if poly.contains_point(p):
+            box = poly.bbox()
+            slack = Rect(box.xmin - 1e-9, box.ymin - 1e-9, box.xmax + 1e-9, box.ymax + 1e-9)
+            assert slack.contains_point(p)
+
+    def test_bbox_is_exact_for_rectangles(self):
+        poly = Polygon.rectangle(-3, -4, 7, 8)
+        box = poly.bbox()
+        assert (box.xmin, box.ymin, box.xmax, box.ymax) == (-3, -4, 7, 8)
+
+    @given(st.lists(st.tuples(coords, coords), min_size=3, max_size=8, unique=True))
+    @settings(max_examples=50)
+    def test_vertices_are_inside_bbox(self, vertices):
+        poly = Polygon.from_coords(vertices)
+        box = poly.bbox()
+        for v in poly.vertices:
+            assert box.contains_point(v)

@@ -1,0 +1,81 @@
+"""The second-order groupby: aggregates receive group streams."""
+
+import pytest
+
+from repro.core.types import format_type
+from repro.errors import NoMatchingOperator
+
+
+@pytest.fixture()
+def session(system):
+    system.run(
+        """
+type sale = tuple(<(item, string), (amount, int)>)
+create sales : srel(sale)
+"""
+    )
+    from repro.models.relational import make_tuple
+
+    srel = system.database.objects["sales"].value
+    sale_t = system.database.aliases["sale"]
+    for item, amount in [
+        ("pen", 3),
+        ("ink", 9),
+        ("pen", 4),
+        ("pad", 5),
+        ("ink", 1),
+        ("pen", 1),
+    ]:
+        srel.append(make_tuple(sale_t, item=item, amount=amount))
+    return system
+
+
+GROUP_QUERY = (
+    "query sales feed groupby[item, <"
+    "(total, fun (g: stream(sale)) g sum_of[amount]), "
+    "(n, fun (g: stream(sale)) g count)"
+    ">]"
+)
+
+
+class TestGroupBy:
+    def test_result_type(self, session):
+        r = session.run_one(GROUP_QUERY)
+        assert format_type(r.type) == (
+            "stream(tuple(<(item, string), (total, int), (n, int)>))"
+        )
+
+    def test_aggregation_values(self, session):
+        r = session.run_one(GROUP_QUERY)
+        rows = {t.attr("item"): (t.attr("total"), t.attr("n")) for t in r.value}
+        assert rows == {"pen": (8, 3), "ink": (10, 2), "pad": (5, 1)}
+
+    def test_groups_in_first_seen_order(self, session):
+        r = session.run_one(GROUP_QUERY)
+        assert [t.attr("item") for t in r.value] == ["pen", "ink", "pad"]
+
+    def test_composes_with_filter(self, session):
+        r = session.run_one(GROUP_QUERY + " filter[total > 6] count")
+        assert r.value == 2
+
+    def test_min_aggregate(self, session):
+        r = session.run_one(
+            "query sales feed groupby[item, "
+            "<(cheapest, fun (g: stream(sale)) g min_of[amount])>]"
+        )
+        rows = {t.attr("item"): t.attr("cheapest") for t in r.value}
+        assert rows == {"pen": 1, "ink": 1, "pad": 5}
+
+    def test_unknown_group_attr_rejected(self, session):
+        with pytest.raises(NoMatchingOperator):
+            session.run_one(
+                "query sales feed groupby[ghost, "
+                "<(n, fun (g: stream(sale)) g count)>]"
+            )
+
+    def test_duplicate_output_attr_rejected(self, session):
+        with pytest.raises(NoMatchingOperator):
+            session.run_one(
+                "query sales feed groupby[item, "
+                "<(item, fun (g: stream(sale)) g count)>]"
+            )

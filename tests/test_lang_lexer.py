@@ -1,0 +1,63 @@
+"""Tokenizer tests."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.lang.lexer import Token, tokenize
+
+
+def kinds(text):
+    return [(t.kind, t.text) for t in tokenize(text) if t.kind != "EOF"]
+
+
+class TestTokens:
+    def test_names_and_keywords(self):
+        assert kinds("query cities select") == [
+            ("KEYWORD", "query"),
+            ("NAME", "cities"),
+            ("NAME", "select"),
+        ]
+
+    def test_numbers(self):
+        toks = tokenize("42 3.14")
+        assert toks[0].kind == "INT" and toks[0].value == 42
+        assert toks[1].kind == "REAL" and toks[1].value == 3.14
+
+    def test_negative_literal_after_operator(self):
+        toks = tokenize("pop > -5")
+        assert toks[2].kind == "INT" and toks[2].value == -5
+
+    def test_minus_as_subtraction_after_value(self):
+        toks = tokenize("a - 5")
+        assert toks[1].kind == "SYM" and toks[1].text == "-"
+
+    def test_string_literal(self):
+        toks = tokenize('"France"')
+        assert toks[0].kind == "STRING"
+        assert toks[0].value == "France"
+
+    def test_string_escapes(self):
+        assert tokenize(r'"a\"b"')[0].value == 'a"b'
+
+    def test_unterminated_string(self):
+        with pytest.raises(ParseError):
+            tokenize('"oops')
+
+    def test_multichar_symbols(self):
+        texts = [t.text for t in tokenize(":= <= >= != ->") if t.kind == "SYM"]
+        assert texts == [":=", "<=", ">=", "!=", "->"]
+
+    def test_comments_skipped(self):
+        assert kinds("a -- comment here\nb") == [("NAME", "a"), ("NAME", "b")]
+
+    def test_positions(self):
+        toks = tokenize("ab\n cd")
+        assert (toks[0].line, toks[0].column) == (1, 1)
+        assert (toks[1].line, toks[1].column) == (2, 2)
+
+    def test_bad_character(self):
+        with pytest.raises(ParseError):
+            tokenize("a @ b")
+
+    def test_underscored_names(self):
+        assert kinds("search_join cities_rep")[0] == ("NAME", "search_join")

@@ -1,0 +1,279 @@
+"""Concrete syntax parsing (experiment E5, paper Section 2.3).
+
+The central check: the concrete query ``persons select[age > 30]``, after
+parsing and elaboration, equals the paper's abstract-syntax term
+``select(persons, fun (p: person) >(age(p), 30))``.
+"""
+
+import pytest
+
+from repro.core.terms import (
+    Apply,
+    Call,
+    Fun,
+    ListTerm,
+    Literal,
+    TupleTerm,
+    Var,
+    same_term,
+)
+from repro.core.typecheck import TypeChecker
+from repro.core.types import FunType, Sym, TypeApp, rel_type, tuple_type
+from repro.errors import ParseError
+from repro.lang.parser import (
+    CreateStmt,
+    DeleteStmt,
+    Parser,
+    QueryStmt,
+    TypeStmt,
+    UpdateStmt,
+    split_statements,
+)
+from repro.models.relational import relational_model
+from repro.rep.model import representation_model
+
+INT = TypeApp("int")
+STRING = TypeApp("string")
+PERSON = tuple_type([("name", STRING), ("age", INT)])
+PERSONS = rel_type(PERSON)
+
+
+@pytest.fixture()
+def parser():
+    sos, _ = relational_model()
+    aliases = {"person": PERSON}
+    return Parser(sos, aliases=aliases, is_object=lambda n: n in {"persons", "cities"})
+
+
+@pytest.fixture()
+def checking_parser():
+    """Parser plus typechecker over the same signature."""
+    sos, _ = relational_model()
+    aliases = {"person": PERSON}
+    parser = Parser(sos, aliases=aliases, is_object=lambda n: n == "persons")
+    tc = TypeChecker(sos, object_types={"persons": PERSONS}.get)
+    return parser, tc
+
+
+class TestStatements:
+    def test_type_statement(self, parser):
+        stmt = parser.parse_statement(
+            "type city = tuple(<(name, string), (pop, int)>)"
+        )
+        assert isinstance(stmt, TypeStmt)
+        assert stmt.type == tuple_type([("name", STRING), ("pop", INT)])
+
+    def test_alias_substitution(self, parser):
+        stmt = parser.parse_statement("create persons : rel(person)")
+        assert isinstance(stmt, CreateStmt)
+        assert stmt.type == PERSONS
+
+    def test_function_type(self, parser):
+        stmt = parser.parse_statement("create v : (-> rel(person))")
+        assert stmt.type == FunType((), PERSONS)
+
+    def test_parameterized_function_type(self, parser):
+        stmt = parser.parse_statement("create v : (string -> rel(person))")
+        assert stmt.type == FunType((STRING,), PERSONS)
+
+    def test_update_statement(self, parser):
+        stmt = parser.parse_statement("update persons := persons")
+        assert isinstance(stmt, UpdateStmt)
+        assert same_term(stmt.expr, Var("persons"))
+
+    def test_delete_statement(self, parser):
+        stmt = parser.parse_statement("delete persons")
+        assert isinstance(stmt, DeleteStmt)
+
+    def test_query_statement(self, parser):
+        stmt = parser.parse_statement("query persons")
+        assert isinstance(stmt, QueryStmt)
+
+    def test_unknown_type_rejected(self, parser):
+        with pytest.raises(ParseError):
+            parser.parse_statement("create x : nonsense_type")
+
+    def test_trailing_garbage_rejected(self, parser):
+        with pytest.raises(ParseError):
+            parser.parse_statement("delete persons extra")
+
+
+class TestSplitStatements:
+    def test_indented_continuations(self):
+        chunks = split_statements(
+            "query persons\n      select[age > 30]\ncreate x : rel(person)"
+        )
+        assert len(chunks) == 2
+        assert "select" in chunks[0]
+
+    def test_comments_and_blanks_skipped(self):
+        chunks = split_statements("-- intro\n\nquery persons\n")
+        assert len(chunks) == 1
+
+    def test_leading_junk_rejected(self):
+        with pytest.raises(ParseError):
+            split_statements("select foo")
+
+
+class TestConcreteSyntax:
+    def test_paper_example_selection(self, parser):
+        # persons select[age > 30]
+        expr = parser.parse_expression("persons select[age > 30]")
+        expected = Apply(
+            "select", (Var("persons"), Apply(">", (Var("age"), Literal(30))))
+        )
+        assert same_term(expr, expected)
+
+    def test_explicit_lambda(self, parser):
+        expr = parser.parse_expression("persons select[fun (p: person) p age > 30]")
+        expected = Apply(
+            "select",
+            (
+                Var("persons"),
+                Fun(
+                    (("p", PERSON),),
+                    Apply(">", (Apply("age", (Var("p"),)), Literal(30))),
+                ),
+            ),
+        )
+        assert same_term(expr, expected)
+
+    def test_attribute_postfix(self, parser):
+        # p age  ==  age(p) given p is a lambda parameter
+        expr = parser.parse_expression("fun (p: person) p age")
+        assert same_term(expr, Fun((("p", PERSON),), Apply("age", (Var("p"),))))
+
+    def test_join_two_preceding_operands(self, parser):
+        expr = parser.parse_expression("cities persons join[pop > age]")
+        assert isinstance(expr, Apply) and expr.op == "join"
+        assert same_term(expr.args[0], Var("cities"))
+        assert same_term(expr.args[1], Var("persons"))
+
+    def test_union_list_operand(self, parser):
+        expr = parser.parse_expression("<persons, persons> union")
+        assert isinstance(expr, Apply) and expr.op == "union"
+        assert isinstance(expr.args[0], ListTerm)
+
+    def test_prefix_default_syntax(self, parser):
+        expr = parser.parse_expression("insert(persons, persons)")
+        assert same_term(expr, Apply("insert", (Var("persons"), Var("persons"))))
+
+    def test_infix_precedence(self, parser):
+        expr = parser.parse_expression("fun (p: person) p age + 1 > 2 * 3")
+        body = expr.body
+        assert body.op == ">"
+        assert body.args[0].op == "+"
+        assert body.args[1].op == "*"
+
+    def test_and_or_precedence(self, parser):
+        expr = parser.parse_expression('fun (p: person) p age > 30 and p name = "x"')
+        assert expr.body.op == "and"
+
+    def test_parenthesized_grouping(self, parser):
+        expr = parser.parse_expression("fun (p: person) (p age + 1) * 2")
+        assert expr.body.op == "*"
+        assert expr.body.args[0].op == "+"
+
+    def test_call_requires_adjacency(self, parser):
+        expr = parser.parse_expression('cities_in("Germany")')
+        assert isinstance(expr, Call)
+        assert same_term(expr.fn, Var("cities_in"))
+
+    def test_nullary_call(self, parser):
+        expr = parser.parse_expression("french_cities()")
+        assert isinstance(expr, Call) and expr.args == ()
+
+    def test_dangling_operands_rejected(self, parser):
+        with pytest.raises(ParseError):
+            parser.parse_expression("persons cities")
+
+    def test_missing_bracket_rejected(self, parser):
+        with pytest.raises(ParseError):
+            parser.parse_expression("persons select[age > 30")
+
+
+class TestElaborationEquivalence:
+    """E5 proper: concrete shorthand == abstract syntax after typecheck."""
+
+    def test_shorthand_equals_explicit(self, checking_parser):
+        parser, tc = checking_parser
+        shorthand = tc.check(parser.parse_expression("persons select[age > 30]"))
+        explicit = tc.check(
+            parser.parse_expression("persons select[fun (p: person) p age > 30]")
+        )
+        abstract = tc.check(
+            Apply(
+                "select",
+                (
+                    Var("persons"),
+                    Fun(
+                        (("p", PERSON),),
+                        Apply(">", (Apply("age", (Var("p"),)), Literal(30))),
+                    ),
+                ),
+            )
+        )
+        assert same_term(shorthand, explicit)
+        assert same_term(shorthand, abstract)
+        assert shorthand.type == PERSONS
+
+
+class TestRepLevelSyntax:
+    """Section 4's concrete syntax parses against the rep signature."""
+
+    @pytest.fixture()
+    def rep_parser(self):
+        sos, _ = representation_model()
+        city = tuple_type([("cname", STRING), ("center", TypeApp("point")), ("pop", INT)])
+        state = tuple_type([("sname", STRING), ("region", TypeApp("pgon"))])
+        aliases = {"city": city, "state": state}
+        objects = {"cities_rep", "states_rep"}
+        return Parser(sos, aliases=aliases, is_object=objects.__contains__)
+
+    def test_feed_postfix(self, rep_parser):
+        expr = rep_parser.parse_expression("cities_rep feed")
+        assert same_term(expr, Apply("feed", (Var("cities_rep"),)))
+
+    def test_search_join_pipeline(self, rep_parser):
+        text = (
+            "cities_rep feed "
+            "fun (c: city) states_rep feed "
+            "filter[fun (s: state) c center inside s region] "
+            "search_join"
+        )
+        expr = rep_parser.parse_expression(text)
+        assert expr.op == "search_join"
+        assert expr.args[0].op == "feed"
+        inner = expr.args[1]
+        assert isinstance(inner, Fun)
+        assert inner.body.op == "filter"
+
+    def test_point_search_two_operands(self, rep_parser):
+        expr = rep_parser.parse_expression(
+            "fun (c: city) states_rep (c center) point_search"
+        )
+        body = expr.body
+        assert body.op == "point_search"
+        assert same_term(body.args[0], Var("states_rep"))
+        assert body.args[1].op == "center"
+
+    def test_replace_two_bracket_args(self, rep_parser):
+        expr = rep_parser.parse_expression(
+            "cities_rep feed replace[pop, fun (c: city) c pop * 2]"
+        )
+        assert expr.op == "replace"
+        assert len(expr.args) == 3
+
+    def test_range_brackets(self, rep_parser):
+        expr = rep_parser.parse_expression("cities_rep range[bottom, 10000]")
+        assert expr.op == "range"
+        assert same_term(expr.args[1], Var("bottom"))
+
+    def test_project_pairs(self, rep_parser):
+        expr = rep_parser.parse_expression(
+            "cities_rep feed project[<(name2, cname), (kpop, fun (c: city) c pop div 1000)>]"
+        )
+        assert expr.op == "project"
+        pairs = expr.args[1]
+        assert isinstance(pairs, ListTerm)
+        assert isinstance(pairs.items[0], TupleTerm)

@@ -1,0 +1,110 @@
+"""Concrete-syntax printing and the parse/print round trip (Section 2.3)."""
+
+import pytest
+
+from repro.core.terms import same_term
+from repro.core.types import TypeApp, tuple_type
+from repro.lang.parser import Parser
+from repro.lang.printer import format_concrete
+from repro.models.relational import relational_model
+from repro.rep.model import representation_model
+
+INT = TypeApp("int")
+STRING = TypeApp("string")
+PERSON = tuple_type([("name", STRING), ("age", INT)])
+CITY = tuple_type([("cname", STRING), ("center", TypeApp("point")), ("pop", INT)])
+STATE = tuple_type([("sname", STRING), ("region", TypeApp("pgon"))])
+
+
+@pytest.fixture()
+def rel_ctx():
+    sos, _ = relational_model()
+    parser = Parser(
+        sos,
+        aliases={"person": PERSON},
+        is_object=lambda n: n in {"persons", "cities"},
+    )
+    return sos, parser
+
+
+@pytest.fixture()
+def rep_ctx():
+    sos, _ = representation_model()
+    parser = Parser(
+        sos,
+        aliases={"city": CITY, "state": STATE},
+        is_object=lambda n: n in {"cities_rep", "states_rep"},
+    )
+    return sos, parser
+
+
+REL_QUERIES = [
+    "persons select[fun (p: person) (p age) > 30]",
+    "persons cities join[fun (p: person, q: person) (p age) = (q age)]",
+    "<persons, persons> union",
+    "insert(persons, persons)",
+    'cities_in("Germany")',
+    "fun (p: person) ((p age) + 1) * 2",
+    "mktuple[<(name, \"x\"), (age, 1)>]",
+]
+
+REP_QUERIES = [
+    "cities_rep feed",
+    "cities_rep feed filter[fun (c: city) (c pop) > 10] count",
+    "cities_rep range[bottom, 10000]",
+    "(cities_rep feed) fun (c: city) states_rep ((c center)) point_search search_join",
+    "cities_rep feed replace[pop, fun (c: city) (c pop) * 2]",
+    "cities_rep feed project[<(n, fun (c: city) c cname)>]",
+    "(cities_rep feed) (states_rep feed) merge_join[cname, sname]",
+    "(cities_rep feed) (states_rep feed) hash_join[cname, sname]",
+    "cities_rep feed sortby[pop] rdup head[5] count",
+    "cities_rep feed groupby[cname, <(total, fun (g: stream(city)) g sum_of[pop])>]",
+    "cities_rep feed min_of[pop]",
+]
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("text", REL_QUERIES)
+    def test_relational_roundtrip(self, rel_ctx, text):
+        sos, parser = rel_ctx
+        term = parser.parse_expression(text)
+        printed = format_concrete(term, sos)
+        reparsed = parser.parse_expression(printed)
+        assert same_term(term, reparsed), printed
+
+    @pytest.mark.parametrize("text", REP_QUERIES)
+    def test_rep_roundtrip(self, rep_ctx, text):
+        sos, parser = rep_ctx
+        term = parser.parse_expression(text)
+        printed = format_concrete(term, sos)
+        reparsed = parser.parse_expression(printed)
+        assert same_term(term, reparsed), printed
+
+
+class TestReadability:
+    def test_select_prints_postfix(self, rel_ctx):
+        sos, parser = rel_ctx
+        term = parser.parse_expression("persons select[fun (p: person) (p age) > 30]")
+        printed = format_concrete(term, sos)
+        assert printed.startswith("persons select[")
+
+    def test_infix_comparison(self, rel_ctx):
+        sos, parser = rel_ctx
+        term = parser.parse_expression("fun (p: person) p age > 30")
+        printed = format_concrete(term, sos)
+        assert "> 30" in printed
+
+    def test_attribute_access(self, rel_ctx):
+        sos, parser = rel_ctx
+        term = parser.parse_expression("fun (p: person) p age")
+        assert "(p age)" in format_concrete(term, sos)
+
+    def test_feed_postfix(self, rep_ctx):
+        sos, parser = rep_ctx
+        term = parser.parse_expression("cities_rep feed")
+        assert format_concrete(term, sos) == "cities_rep feed"
+
+    def test_range_brackets(self, rep_ctx):
+        sos, parser = rep_ctx
+        term = parser.parse_expression("cities_rep range[bottom, 10000]")
+        assert format_concrete(term, sos) == "cities_rep range[bottom, 10000]"

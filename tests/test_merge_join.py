@@ -1,0 +1,119 @@
+"""Sort-merge equi-join operator and its translation rule."""
+
+import pytest
+
+from repro.core.terms import Apply, walk_terms
+from repro.errors import NoMatchingOperator
+
+
+@pytest.fixture()
+def session(system):
+    system.run(
+        """
+type emp = tuple(<(ename, string), (dept, string)>)
+type dep = tuple(<(dname, string), (budget, int)>)
+create emps : rel(emp)
+create deps : rel(dep)
+create emps_rep : srel(emp)
+create deps_rep : srel(dep)
+update rep := insert(rep, emps, emps_rep)
+update rep := insert(rep, deps, deps_rep)
+"""
+    )
+    from repro.models.relational import make_tuple
+
+    emp_t = system.database.aliases["emp"]
+    dep_t = system.database.aliases["dep"]
+    emps = system.database.objects["emps_rep"].value
+    deps = system.database.objects["deps_rep"].value
+    for name, dept in [
+        ("ann", "dev"),
+        ("bob", "dev"),
+        ("cia", "ops"),
+        ("dan", "hr"),
+        ("eve", "ghost"),  # dangling: no matching department
+    ]:
+        emps.append(make_tuple(emp_t, ename=name, dept=dept))
+    for dname, budget in [("dev", 100), ("ops", 50), ("hr", 30), ("idle", 7)]:
+        deps.append(make_tuple(dep_t, dname=dname, budget=budget))
+    return system
+
+
+def expected_pairs():
+    return sorted(
+        [("ann", "dev"), ("bob", "dev"), ("cia", "ops"), ("dan", "hr")]
+    )
+
+
+class TestMergeJoinOperator:
+    def test_direct_use(self, session):
+        r = session.run_one(
+            "query emps_rep feed deps_rep feed merge_join[dept, dname]"
+        )
+        pairs = sorted((t.attr("ename"), t.attr("dname")) for t in r.value)
+        assert pairs == expected_pairs()
+
+    def test_duplicate_groups_cross_product(self, session):
+        # join deps with itself on budget-less keys: dev x dev etc.
+        r = session.run_one(
+            "query emps_rep feed emps_rep feed "
+            "project[<(d2, fun (e: emp) e dept)>] merge_join[dept, d2]"
+        )
+        # dev group: 2x2=4, ops 1, hr 1, ghost 1 -> 7
+        assert len(r.value) == 7
+
+    def test_attribute_type_mismatch_rejected(self, session):
+        with pytest.raises(NoMatchingOperator):
+            session.run_one(
+                "query emps_rep feed deps_rep feed merge_join[dept, budget]"
+            )
+
+    def test_unknown_attribute_rejected(self, session):
+        with pytest.raises(NoMatchingOperator):
+            session.run_one(
+                "query emps_rep feed deps_rep feed merge_join[ghost, dname]"
+            )
+
+
+class TestEquiJoinRule:
+    def test_model_equi_join_uses_merge_join(self, session):
+        r = session.run_one("query emps deps join[dept = dname]")
+        assert r.fired == ["equi_join_merge"]
+        ops = [n.op for n in walk_terms(r.translated_term) if isinstance(n, Apply)]
+        assert ops[0] == "merge_join"
+        pairs = sorted((t.attr("ename"), t.attr("dname")) for t in r.value)
+        assert pairs == expected_pairs()
+
+    def test_results_match_scan_join(self, session):
+        merge = session.run_one("query emps deps join[dept = dname]")
+        scan = session.run_one(
+            "query emps_rep feed "
+            "fun (e: emp) deps_rep feed filter[fun (d: dep) e dept = d dname] "
+            "search_join"
+        )
+        a = sorted((t.attr("ename"), t.attr("dname")) for t in merge.value)
+        b = sorted((t.attr("ename"), t.attr("dname")) for t in scan.value)
+        assert a == b
+
+    def test_hash_join_direct(self, session):
+        r = session.run_one(
+            "query emps_rep feed deps_rep feed hash_join[dept, dname]"
+        )
+        pairs = sorted((t.attr("ename"), t.attr("dname")) for t in r.value)
+        assert pairs == expected_pairs()
+
+    def test_cost_based_prefers_hash_join(self, session):
+        from repro.optimizer import cost_based_optimizer
+
+        session.optimizer = cost_based_optimizer()
+        r = session.run_one("query emps deps join[dept = dname]")
+        assert r.fired == ["equi_join_hash"]
+        pairs = sorted((t.attr("ename"), t.attr("dname")) for t in r.value)
+        assert pairs == expected_pairs()
+
+    def test_non_equi_join_falls_back(self, session):
+        r = session.run_one(
+            "query emps deps join[fun (e: emp, d: dep) d budget > 40]"
+        )
+        assert r.fired == ["join_scan"]
+        assert len(r.value) == 10  # 5 emps x 2 rich departments

@@ -1,0 +1,123 @@
+"""Engine control strategies and safety behaviour ([BeG92] step model)."""
+
+import pytest
+
+from repro.core.patterns import PApp, PVar
+from repro.core.terms import Apply, Literal, Var
+from repro.errors import OptimizationError
+from repro.optimizer.engine import Optimizer, OptimizerStep
+from repro.optimizer.rules import RewriteRule, rule_vars
+from repro.optimizer.termmatch import RuleVar
+from repro.system import make_relational_system
+
+
+@pytest.fixture()
+def db():
+    return make_relational_system().database
+
+
+def _typed(db, text):
+    from repro.lang.parser import Parser
+
+    parser = Parser(db.sos, aliases=db.aliases, is_object=db.has_object)
+    return db.typechecker.check(parser.parse_expression(text))
+
+
+def add_zero_rule():
+    """x + 0 => x  (a pure simplification rule for strategy testing)."""
+    return RewriteRule(
+        name="add_zero",
+        variables=rule_vars(RuleVar("x")),
+        lhs=Apply("+", (Var("x"), Literal(0))),
+        rhs=Var("x"),
+    )
+
+
+def wrap_rule():
+    """x => x + 0 — deliberately non-terminating under 'exhaustive'."""
+    return RewriteRule(
+        name="wrap",
+        variables=rule_vars(RuleVar("x", kind=None)),
+        lhs=Apply("*", (Var("x"), Literal(1))),
+        rhs=Apply("*", (Apply("+", (Var("x"), Literal(0))), Literal(1))),
+    )
+
+
+class TestStrategies:
+    def test_exhaustive_reaches_fixpoint(self, db):
+        term = _typed(db, "((1 + 0) + 0) + 0")
+        opt = Optimizer([OptimizerStep("s", [add_zero_rule()], "exhaustive")])
+        result = opt.optimize(term, db)
+        assert result.fired == ["add_zero"] * 3
+        from repro.core.terms import same_term
+
+        assert same_term(result.term, _typed(db, "1"))
+
+    def test_once_topdown_fires_once_per_traversal(self, db):
+        term = _typed(db, "((1 + 0) + 0) + 0")
+        opt = Optimizer([OptimizerStep("s", [add_zero_rule()], "once_topdown")])
+        result = opt.optimize(term, db)
+        assert result.fired == ["add_zero"]
+        # outermost occurrence rewritten first
+        assert same_shape(result.term, _typed(db, "(1 + 0) + 0"))
+
+    def test_once_bottomup_rewrites_innermost(self, db):
+        term = _typed(db, "((1 + 0) + 0) + 0")
+        opt = Optimizer([OptimizerStep("s", [add_zero_rule()], "once_bottomup")])
+        result = opt.optimize(term, db)
+        assert result.fired == ["add_zero"]
+        assert same_shape(result.term, _typed(db, "(1 + 0) + 0"))
+
+    def test_non_terminating_rule_set_detected(self, db):
+        term = _typed(db, "2 * 1")
+        opt = Optimizer([OptimizerStep("s", [wrap_rule()], "exhaustive")])
+        with pytest.raises(OptimizationError):
+            opt.optimize(term, db)
+
+    def test_unknown_strategy_rejected(self, db):
+        opt = Optimizer([OptimizerStep("s", [], "sideways")])
+        with pytest.raises(OptimizationError):
+            opt.optimize(_typed(db, "1"), db)
+
+    def test_steps_run_in_order(self, db):
+        double = RewriteRule(
+            name="one_to_two",
+            variables={},
+            lhs=Literal(1),
+            rhs=Literal(2),
+        )
+        halve = RewriteRule(
+            name="two_to_three",
+            variables={},
+            lhs=Literal(2),
+            rhs=Literal(3),
+        )
+        opt = Optimizer(
+            [
+                OptimizerStep("first", [double], "once_topdown"),
+                OptimizerStep("second", [halve], "once_topdown"),
+            ]
+        )
+        result = opt.optimize(_typed(db, "1 + 100"), db)
+        assert result.fired == ["one_to_two", "two_to_three"]
+        assert same_shape(result.term, _typed(db, "3 + 100"))
+
+
+class TestSafety:
+    def test_ill_typed_rewrite_is_discarded(self, db):
+        bad = RewriteRule(
+            name="break_types",
+            variables=rule_vars(RuleVar("x")),
+            lhs=Apply("+", (Var("x"), Literal(0))),
+            rhs=Apply("and", (Var("x"), Literal(0))),  # int operands: ill-typed
+        )
+        term = _typed(db, "5 + 0")
+        opt = Optimizer([OptimizerStep("s", [bad], "exhaustive")])
+        result = opt.optimize(term, db)
+        assert result.fired == []  # the unsound rule never applies
+
+
+def same_shape(a, b):
+    from repro.core.terms import same_term
+
+    return same_term(a, b)

@@ -1,0 +1,155 @@
+"""Property-based tests across the stack (hypothesis).
+
+These check semantic invariants on randomly generated schemas, data and
+predicates: algebra laws of the relational operators, equivalence of the
+translated representation plans with a Python reference implementation, and
+stability of parse/print round trips.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.algebra import Evaluator
+from repro.core.terms import Apply, Fun, ListTerm, Literal, Var, same_term
+from repro.core.typecheck import TypeChecker
+from repro.core.types import TypeApp, rel_type, tuple_type
+from repro.models.relational import make_relation, relational_model
+
+INT = TypeApp("int")
+STRING = TypeApp("string")
+
+ATTRS = ("alpha", "beta", "gamma")
+
+SOS, ALGEBRA = relational_model()
+
+ROW = tuple_type([("alpha", INT), ("beta", INT), ("gamma", STRING)])
+ROWS_REL = rel_type(ROW)
+
+rows_strategy = st.lists(
+    st.tuples(
+        st.integers(-50, 50), st.integers(-50, 50), st.sampled_from("abcde")
+    ),
+    max_size=40,
+)
+
+comparison = st.sampled_from(["<", "<=", "=", "!=", ">=", ">"])
+int_attr = st.sampled_from(["alpha", "beta"])
+threshold = st.integers(-60, 60)
+
+_PY_OPS = {
+    "<": lambda a, b: a < b,
+    "<=": lambda a, b: a <= b,
+    "=": lambda a, b: a == b,
+    "!=": lambda a, b: a != b,
+    ">=": lambda a, b: a >= b,
+    ">": lambda a, b: a > b,
+}
+
+
+def _relation(rows):
+    return make_relation(
+        ROWS_REL,
+        [{"alpha": a, "beta": b, "gamma": c} for a, b, c in rows],
+    )
+
+
+def _env(rows):
+    rel = _relation(rows)
+    tc = TypeChecker(SOS, object_types={"r": ROWS_REL}.get)
+    ev = Evaluator(ALGEBRA, resolver={"r": rel}.get)
+    return tc, ev, rel
+
+
+def _select(attr, op, value):
+    return Apply(
+        "select", (Var("r"), Apply(op, (Var(attr), Literal(value))))
+    )
+
+
+class TestSelectionSemantics:
+    @given(rows_strategy, int_attr, comparison, threshold)
+    @settings(max_examples=60, deadline=None)
+    def test_select_matches_reference(self, rows, attr, op, value):
+        tc, ev, _ = _env(rows)
+        out = ev.eval(tc.check(_select(attr, op, value)))
+        expected = [r for r in rows if _PY_OPS[op](r[ATTRS.index(attr)], value)]
+        assert sorted(t.attr(attr) for t in out) == sorted(
+            r[ATTRS.index(attr)] for r in expected
+        )
+
+    @given(rows_strategy, int_attr, threshold)
+    @settings(max_examples=40, deadline=None)
+    def test_select_is_idempotent(self, rows, attr, value):
+        tc, ev, _ = _env(rows)
+        once = ev.eval(tc.check(_select(attr, ">", value)))
+        inner = _select(attr, ">", value)
+        twice_term = Apply(
+            "select", (inner, Apply(">", (Var(attr), Literal(value))))
+        )
+        twice = ev.eval(tc.check(twice_term))
+        assert sorted(map(repr, once.rows)) == sorted(map(repr, twice.rows))
+
+    @given(rows_strategy, int_attr, threshold)
+    @settings(max_examples=40, deadline=None)
+    def test_select_partitions(self, rows, attr, value):
+        """select[p] and select[not p] partition the relation."""
+        tc, ev, rel = _env(rows)
+        pos = ev.eval(tc.check(_select(attr, ">", value)))
+        neg = ev.eval(tc.check(_select(attr, "<=", value)))
+        assert len(pos) + len(neg) == len(rows)
+
+
+class TestUnionSemantics:
+    @given(rows_strategy)
+    @settings(max_examples=30, deadline=None)
+    def test_union_counts_add(self, rows):
+        tc, ev, rel = _env(rows)
+        term = tc.check(Apply("union", (ListTerm((Var("r"), Var("r"))),)))
+        assert len(ev.eval(term)) == 2 * len(rows)
+
+
+class TestTranslatedPlans:
+    """Model selection translated to the B-tree agrees with the reference."""
+
+    @given(rows_strategy, comparison, threshold)
+    @settings(max_examples=25, deadline=None)
+    def test_translation_is_semantics_preserving(self, rows, op, value):
+        from repro.system import make_relational_system
+
+        system = make_relational_system()
+        system.run(
+            """
+type row = tuple(<(alpha, int), (beta, int), (gamma, string)>)
+create r : rel(row)
+create r_rep : btree(row, alpha, int)
+update rep := insert(rep, r, r_rep)
+"""
+        )
+        bt = system.database.objects["r_rep"].value
+        row_t = system.database.aliases["row"]
+        from repro.models.relational import make_tuple
+
+        for a, b, c in rows:
+            bt.insert(make_tuple(row_t, alpha=a, beta=b, gamma=c))
+        result = system.run_one(f"query r select[alpha {op} {value}]")
+        expected = sorted(r[0] for r in rows if _PY_OPS[op](r[0], value))
+        assert sorted(t.attr("alpha") for t in result.value) == expected
+
+
+class TestPrintParseRoundTrip:
+    @given(rows_strategy.filter(bool), int_attr, comparison, threshold)
+    @settings(max_examples=40, deadline=None)
+    def test_roundtrip_after_typecheck(self, rows, attr, op, value):
+        from repro.lang.parser import Parser
+        from repro.lang.printer import format_concrete
+
+        tc, ev, _ = _env(rows)
+        term = tc.check(_select(attr, op, value))
+        printed = format_concrete(term, SOS)
+        parser = Parser(SOS, aliases={"row": ROW}, is_object=lambda n: n == "r")
+        reparsed = tc.check(parser.parse_expression(printed))
+        assert same_term(term, reparsed)
+        assert sorted(map(repr, ev.eval(term).rows)) == sorted(
+            map(repr, ev.eval(reparsed).rows)
+        )

@@ -1,0 +1,80 @@
+"""Sorting, duplicate elimination and aggregation over streams."""
+
+import pytest
+
+from repro.errors import ExecutionError, NoMatchingOperator
+
+
+@pytest.fixture()
+def session(system):
+    system.run(
+        """
+type sale = tuple(<(item, string), (amount, int)>)
+create sales : srel(sale)
+"""
+    )
+    srel = system.database.objects["sales"].value
+    from repro.models.relational import make_tuple
+
+    sale_t = system.database.aliases["sale"]
+    for item, amount in [
+        ("pen", 3),
+        ("ink", 9),
+        ("pen", 3),
+        ("pad", 5),
+        ("ink", 1),
+    ]:
+        srel.append(make_tuple(sale_t, item=item, amount=amount))
+    return system
+
+
+class TestSortAndRdup:
+    def test_sortby(self, session):
+        r = session.run_one("query sales feed sortby[amount]")
+        assert [t.attr("amount") for t in r.value] == [1, 3, 3, 5, 9]
+
+    def test_sortby_string(self, session):
+        r = session.run_one("query sales feed sortby[item]")
+        assert [t.attr("item") for t in r.value] == ["ink", "ink", "pad", "pen", "pen"]
+
+    def test_sortby_unknown_attr(self, session):
+        with pytest.raises(NoMatchingOperator):
+            session.run_one("query sales feed sortby[ghost]")
+
+    def test_rdup_after_sort(self, session):
+        r = session.run_one("query sales feed sortby[item] rdup count")
+        # (ink,9),(ink,1) differ; only the two (pen,3) collapse
+        assert r.value == 4
+
+    def test_rdup_without_sort_only_adjacent(self, session):
+        r = session.run_one("query sales feed rdup count")
+        assert r.value == 5  # the duplicates are not adjacent in heap order
+
+
+class TestAggregates:
+    def test_min_max_sum(self, session):
+        assert session.run_one("query sales feed min_of[amount]").value == 1
+        assert session.run_one("query sales feed max_of[amount]").value == 9
+        assert session.run_one("query sales feed sum_of[amount]").value == 21
+
+    def test_avg(self, session):
+        assert session.run_one("query sales feed avg_of[amount]").value == pytest.approx(4.2)
+
+    def test_aggregate_result_type_is_attr_type(self, session):
+        r = session.run_one("query sales feed max_of[item]")
+        assert r.value == "pen"
+        from repro.core.types import format_type
+
+        assert format_type(r.type) == "string"
+
+    def test_aggregate_composes_with_filters(self, session):
+        r = session.run_one('query sales feed filter[item = "ink"] sum_of[amount]')
+        assert r.value == 10
+
+    def test_empty_stream_raises(self, session):
+        with pytest.raises(ExecutionError):
+            session.run_one("query sales feed filter[amount > 100] min_of[amount]")
+
+    def test_unknown_attribute_rejected(self, session):
+        with pytest.raises(NoMatchingOperator):
+            session.run_one("query sales feed sum_of[ghost]")

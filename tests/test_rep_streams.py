@@ -1,0 +1,80 @@
+"""Stream combinators and pipelining semantics."""
+
+import pytest
+
+from repro.core.algebra import Stream, TupleValue
+from repro.core.types import TypeApp, tuple_type
+from repro.errors import ExecutionError
+from repro.rep import streams as st
+
+INT = TypeApp("int")
+ROW = tuple_type([("k", INT), ("v", INT)])
+
+
+def rows(n):
+    return [TupleValue(ROW, (i, i * 10)) for i in range(n)]
+
+
+def stream_of(n):
+    return st.feed(ROW, iter(rows(n)))
+
+
+class TestCombinators:
+    def test_filter(self):
+        out = st.filter_stream(stream_of(10), lambda t: t.attr("k") >= 7)
+        assert [t.attr("k") for t in out] == [7, 8, 9]
+
+    def test_project(self):
+        out_t = tuple_type([("twice", INT)])
+        out = st.project_stream(
+            out_t, stream_of(3), [("twice", lambda t: t.attr("v") * 2)]
+        )
+        assert [t.attr("twice") for t in out] == [0, 20, 40]
+
+    def test_replace(self):
+        out = st.replace_stream(stream_of(3), "v", lambda t: -t.attr("k"))
+        values = [(t.attr("k"), t.attr("v")) for t in out]
+        assert values == [(0, 0), (1, -1), (2, -2)]
+
+    def test_head(self):
+        assert len(list(st.head_stream(stream_of(100), 5))) == 5
+
+    def test_concat(self):
+        out = st.concat_streams(ROW, [stream_of(2), stream_of(3)])
+        assert len(list(out)) == 5
+
+    def test_search_join(self):
+        out_t = tuple_type([("k", INT), ("v", INT), ("k2", INT), ("v2", INT)])
+        inner_t = tuple_type([("k2", INT), ("v2", INT)])
+
+        def inner(t):
+            k = t.attr("k")
+            return st.feed(inner_t, iter([TupleValue(inner_t, (k, k))]))
+
+        out = st.search_join_stream(out_t, stream_of(3), inner)
+        assert [(t.attr("k"), t.attr("k2")) for t in out] == [(0, 0), (1, 1), (2, 2)]
+
+
+class TestPipelining:
+    def test_lazy_evaluation(self):
+        """Stream operators must not consume their input eagerly."""
+        consumed = []
+
+        def source():
+            for i in range(1000):
+                consumed.append(i)
+                yield TupleValue(ROW, (i, i))
+
+        pipeline = st.head_stream(
+            st.filter_stream(st.feed(ROW, source()), lambda t: t.attr("k") % 2 == 0),
+            3,
+        )
+        assert [t.attr("k") for t in pipeline] == [0, 2, 4]
+        # Only a prefix of the source was pulled.
+        assert len(consumed) <= 6
+
+    def test_streams_are_one_shot(self):
+        s = stream_of(3)
+        list(s)
+        with pytest.raises(ExecutionError):
+            list(s)

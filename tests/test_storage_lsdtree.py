@@ -1,0 +1,128 @@
+"""LSD-tree unit and property tests (structure of [HeSW89], Section 4)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import StorageError
+from repro.geometry import Point, Rect
+from repro.storage import LSDTree
+from repro.storage.io import PageManager
+
+coords = st.floats(min_value=0, max_value=100, allow_nan=False, width=32)
+
+
+def rect_items(min_size=0, max_size=80):
+    def to_item(index_and_coords):
+        i, (x, y, w, h) = index_and_coords
+        return (i, Rect(x, y, x + abs(w) + 0.1, y + abs(h) + 0.1))
+
+    base = st.tuples(coords, coords, coords, coords)
+    return st.lists(base, min_size=min_size, max_size=max_size).map(
+        lambda cs: [to_item((i, c)) for i, c in enumerate(cs)]
+    )
+
+
+def fresh(capacity=4):
+    return LSDTree(key=lambda t: t[1], bucket_capacity=capacity, pages=PageManager())
+
+
+class TestBasics:
+    def test_capacity_minimum(self):
+        with pytest.raises(StorageError):
+            LSDTree(key=lambda t: t, bucket_capacity=1)
+
+    def test_key_must_be_rect(self):
+        tree = LSDTree(key=lambda t: t, bucket_capacity=4, pages=PageManager())
+        with pytest.raises(StorageError):
+            tree.insert("not a rect")
+
+    def test_insert_and_scan(self):
+        tree = fresh()
+        for i in range(20):
+            tree.insert((i, Rect(i, i, i + 1, i + 1)))
+        assert sorted(t[0] for t in tree.scan()) == list(range(20))
+        tree.check_invariants()
+
+    def test_point_search_small(self):
+        tree = fresh()
+        tree.insert(("a", Rect(0, 0, 10, 10)))
+        tree.insert(("b", Rect(20, 20, 30, 30)))
+        assert [t[0] for t in tree.point_search(Point(5, 5))] == ["a"]
+        assert list(tree.point_search(Point(15, 15))) == []
+
+    def test_overlap_search_small(self):
+        tree = fresh()
+        tree.insert(("a", Rect(0, 0, 10, 10)))
+        tree.insert(("b", Rect(20, 20, 30, 30)))
+        got = sorted(t[0] for t in tree.overlap_search(Rect(5, 5, 25, 25)))
+        assert got == ["a", "b"]
+
+    def test_duplicate_rectangles(self):
+        tree = fresh(capacity=2)
+        for i in range(10):
+            tree.insert((i, Rect(1, 1, 2, 2)))
+        assert len(tree) == 10
+        assert sorted(t[0] for t in tree.point_search(Point(1.5, 1.5))) == list(range(10))
+
+    def test_delete(self):
+        tree = fresh()
+        items = [(i, Rect(i, 0, i + 5, 5)) for i in range(20)]
+        for t in items:
+            tree.insert(t)
+        for t in items[:10]:
+            assert tree.delete(t)
+        assert not tree.delete(items[0])
+        assert len(tree) == 10
+        tree.check_invariants()
+
+
+class TestAgainstBruteForce:
+    @given(rect_items(), st.tuples(coords, coords))
+    @settings(max_examples=50, deadline=None)
+    def test_point_search_complete_and_sound(self, items, xy):
+        tree = fresh(capacity=4)
+        for t in items:
+            tree.insert(t)
+        p = Point(*xy)
+        got = sorted(t[0] for t in tree.point_search(p))
+        expected = sorted(i for i, r in items if r.contains_point(p))
+        assert got == expected
+
+    @given(rect_items(), st.tuples(coords, coords, coords, coords))
+    @settings(max_examples=50, deadline=None)
+    def test_overlap_search_complete_and_sound(self, items, box):
+        tree = fresh(capacity=4)
+        for t in items:
+            tree.insert(t)
+        x, y, w, h = box
+        query = Rect(x, y, x + abs(w) + 0.1, y + abs(h) + 0.1)
+        got = sorted(t[0] for t in tree.overlap_search(query))
+        expected = sorted(i for i, r in items if r.intersects(query))
+        assert got == expected
+
+    @given(rect_items(min_size=1))
+    @settings(max_examples=40, deadline=None)
+    def test_invariants_after_inserts(self, items):
+        tree = fresh(capacity=3)
+        for t in items:
+            tree.insert(t)
+        tree.check_invariants()
+        assert len(tree) == len(items)
+
+
+class TestIOAccounting:
+    def test_point_search_reads_fewer_buckets_than_scan(self):
+        pages = PageManager()
+        tree = LSDTree(key=lambda t: t[1], bucket_capacity=8, pages=pages)
+        rng = random.Random(13)
+        for i in range(3000):
+            x, y = rng.uniform(0, 1000), rng.uniform(0, 1000)
+            tree.insert((i, Rect(x, y, x + 5, y + 5)))
+        with pages.measure() as scan:
+            list(tree.scan())
+        with pages.measure() as search:
+            list(tree.point_search(Point(500, 500)))
+        assert search.delta.reads < scan.delta.reads / 5

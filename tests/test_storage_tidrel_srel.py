@@ -1,0 +1,105 @@
+"""TID relations, secondary indexes, and temporary relations."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import StorageError
+from repro.storage import SRel, TidRelation
+from repro.storage.io import PageManager
+from repro.storage.tidrel import SecondaryIndex
+
+
+class TestTidRelation:
+    def test_insert_returns_stable_tids(self):
+        rel = TidRelation(page_capacity=4, pages=PageManager())
+        tids = rel.stream_insert(range(10))
+        assert len(set(tids)) == 10
+        for tid, value in zip(tids, range(10)):
+            assert rel.fetch(tid) == value
+
+    def test_scan_skips_deleted(self):
+        rel = TidRelation(page_capacity=4, pages=PageManager())
+        tids = rel.stream_insert(range(10))
+        rel.delete(tids[3])
+        rel.delete(tids[7])
+        assert list(rel.scan()) == [0, 1, 2, 4, 5, 6, 8, 9]
+        assert len(rel) == 8
+
+    def test_fetch_deleted_raises(self):
+        rel = TidRelation(pages=PageManager())
+        tid = rel.insert("x")
+        rel.delete(tid)
+        with pytest.raises(StorageError):
+            rel.fetch(tid)
+        with pytest.raises(StorageError):
+            rel.delete(tid)
+
+    def test_invalid_tid(self):
+        rel = TidRelation(pages=PageManager())
+        with pytest.raises(StorageError):
+            rel.fetch((99, 0))
+
+    def test_replace_in_place(self):
+        rel = TidRelation(pages=PageManager())
+        tid = rel.insert("old")
+        rel.replace(tid, "new")
+        assert rel.fetch(tid) == "new"
+
+    def test_scan_with_tids(self):
+        rel = TidRelation(page_capacity=2, pages=PageManager())
+        tids = rel.stream_insert("abc")
+        assert [t for t, _ in rel.scan_with_tids()] == tids
+
+
+class TestSecondaryIndex:
+    def test_build_and_range(self):
+        rel = TidRelation(page_capacity=4, pages=PageManager())
+        rel.stream_insert([30, 10, 20, 40])
+        index = SecondaryIndex(rel, key=lambda v: v)
+        index.build()
+        assert list(index.fetch_range(15, 35)) == [20, 30]
+        assert len(index) == 4
+
+    def test_incremental_maintenance(self):
+        rel = TidRelation(pages=PageManager())
+        index = SecondaryIndex(rel, key=lambda v: v)
+        tid = rel.insert(5)
+        index.insert(tid, 5)
+        assert list(index.fetch_range(0, 10)) == [5]
+        assert index.delete(tid, 5)
+        assert list(index.tids_in_range(0, 10)) == []
+
+    @given(st.lists(st.integers(0, 100), max_size=60))
+    @settings(max_examples=40, deadline=None)
+    def test_range_matches_reference(self, values):
+        rel = TidRelation(page_capacity=8, pages=PageManager())
+        rel.stream_insert(values)
+        index = SecondaryIndex(rel, key=lambda v: v)
+        index.build()
+        got = sorted(index.fetch_range(25, 75))
+        assert got == sorted(v for v in values if 25 <= v <= 75)
+
+
+class TestSRel:
+    def test_collect_and_scan(self):
+        srel = SRel(range(10), page_capacity=3, pages=PageManager())
+        assert list(srel) == list(range(10))
+        assert len(srel) == 10
+
+    def test_append(self):
+        srel = SRel(pages=PageManager())
+        srel.append("x")
+        assert list(srel) == ["x"]
+
+    def test_rescannable(self):
+        # Unlike streams, a collected relation can be scanned repeatedly.
+        srel = SRel(range(5), pages=PageManager())
+        assert list(srel) == list(srel)
+
+    def test_page_accounting(self):
+        pages = PageManager()
+        srel = SRel(range(100), page_capacity=10, pages=pages)
+        before = pages.stats.reads
+        list(srel.scan())
+        assert pages.stats.reads - before == 10
