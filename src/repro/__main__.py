@@ -5,11 +5,18 @@ Usage::
     python -m repro                      # interactive REPL (full system)
     python -m repro program.sos          # execute a program file
     python -m repro --model program.sos  # model-level execution, no optimizer
+    python -m repro --max-steps N ...    # arm the evaluation step budget
+    python -m repro --max-depth N ...    # arm the recursion-depth limit
 
 The REPL accepts the five statement forms; a statement ends at the end of a
 line unless continued by indentation on the following lines (same rule as
 program files).  ``\\q`` quits, ``\\objects`` lists objects, ``\\types``
 lists named types.
+
+Statements execute atomically: a failed statement reports its index, phase
+and source snippet, and leaves the database exactly as it was before —
+a file keeps the effects of the statements before the failing one, the REPL
+simply continues with the next input.
 """
 
 from __future__ import annotations
@@ -36,15 +43,45 @@ def _print_result(result) -> None:
             print("  ", value)
 
 
-def run_file(path: str, model_only: bool, dump_to: str | None = None) -> int:
+def _print_error(exc: SOSError, stream) -> None:
+    """One line of error plus, for statement errors, the source snippet.
+
+    A wrapped :class:`~repro.errors.StatementError` message already leads
+    with ``statement N (phase):``; the snippet line shows *what* failed
+    without making the user count statements in the file.
+    """
+    print(f"error: {exc}", file=stream)
+    snippet = getattr(exc, "snippet", lambda: None)()
+    if snippet:
+        print(f"  in: {snippet}", file=stream)
+
+
+def _make_runner(model_only: bool, limits: tuple[int | None, int | None]):
     runner = make_model_interpreter() if model_only else make_relational_system()
-    with open(path) as f:
-        source = f.read()
+    max_steps, max_depth = limits
+    if max_steps is not None or max_depth is not None:
+        runner.database.set_resource_limits(max_steps, max_depth)
+    return runner
+
+
+def run_file(
+    path: str,
+    model_only: bool,
+    dump_to: str | None = None,
+    limits: tuple[int | None, int | None] = (None, None),
+) -> int:
+    runner = _make_runner(model_only, limits)
+    try:
+        with open(path) as f:
+            source = f.read()
+    except OSError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     try:
         for result in runner.run(source):
             _print_result(result)
     except SOSError as exc:
-        print(f"error: {exc}", file=sys.stderr)
+        _print_error(exc, sys.stderr)
         return 1
     if dump_to is not None:
         from repro.system import dump_program
@@ -55,19 +92,40 @@ def run_file(path: str, model_only: bool, dump_to: str | None = None) -> int:
     return 0
 
 
-def repl(model_only: bool) -> int:
-    runner = make_model_interpreter() if model_only else make_relational_system()
-    database = runner.database if hasattr(runner, "database") else runner.database
+def repl(
+    model_only: bool, limits: tuple[int | None, int | None] = (None, None)
+) -> int:
+    runner = _make_runner(model_only, limits)
+    database = runner.database
     print("second-order signature system — \\q to quit")
     buffer: list[str] = []
+
+    def flush() -> None:
+        """Execute the buffered multi-line statement, if any."""
+        if not buffer:
+            return
+        pending = "\n".join(buffer)
+        buffer.clear()
+        try:
+            for result in runner.run(pending):
+                _print_result(result)
+        except SOSError as exc:
+            _print_error(exc, sys.stdout)
+
     while True:
         try:
             prompt = "... " if buffer else "sos> "
             line = input(prompt)
-        except (EOFError, KeyboardInterrupt):
+        except EOFError:
+            # finish a statement still being typed before exiting
+            flush()
+            print()
+            return 0
+        except KeyboardInterrupt:
             print()
             return 0
         if line.strip() == "\\q":
+            flush()
             return 0
         if line.strip() == "\\objects":
             for obj in database.objects.values():
@@ -97,32 +155,43 @@ def repl(model_only: bool) -> int:
         if buffer and line[:1].isspace() and line.strip():
             buffer.append(line)
             continue
-        if buffer:
-            pending = "\n".join(buffer)
-            buffer = []
-            try:
-                for result in runner.run(pending):
-                    _print_result(result)
-            except SOSError as exc:
-                print(f"error: {exc}")
+        flush()
         if line.strip():
             buffer.append(line)
 
 
+def _take_option(argv: list[str], name: str) -> tuple[str | None, list[str], bool]:
+    """Extract ``name VALUE`` from argv.  Returns (value, rest, ok)."""
+    if name not in argv:
+        return None, argv, True
+    index = argv.index(name)
+    if index + 1 >= len(argv):
+        print(f"error: {name} needs a value", file=sys.stderr)
+        return None, argv, False
+    value = argv[index + 1]
+    return value, argv[:index] + argv[index + 2 :], True
+
+
 def main(argv: list[str]) -> int:
     model_only = "--model" in argv
-    dump_to = None
-    if "--dump" in argv:
-        index = argv.index("--dump")
-        if index + 1 >= len(argv):
-            print("error: --dump needs a target path", file=sys.stderr)
+    dump_to, argv, ok = _take_option(argv, "--dump")
+    if not ok:
+        return 2
+    limits = []
+    for flag in ("--max-steps", "--max-depth"):
+        raw, argv, ok = _take_option(argv, flag)
+        if not ok:
             return 2
-        dump_to = argv[index + 1]
-        argv = argv[:index] + argv[index + 2 :]
+        try:
+            limits.append(int(raw) if raw is not None else None)
+        except ValueError:
+            print(f"error: {flag} needs an integer, got {raw!r}", file=sys.stderr)
+            return 2
+    max_steps, max_depth = limits
     files = [a for a in argv if not a.startswith("-")]
     if files:
-        return run_file(files[0], model_only, dump_to)
-    return repl(model_only)
+        return run_file(files[0], model_only, dump_to, (max_steps, max_depth))
+    return repl(model_only, (max_steps, max_depth))
 
 
 if __name__ == "__main__":

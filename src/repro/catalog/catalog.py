@@ -16,6 +16,7 @@ from repro.core.operators import Quantifier
 from repro.core.sorts import KindSort, TypeSort, UnionSort, VarSort
 from repro.core.sos import SignatureBuilder
 from repro.core.types import Sym, Type, TypeApp
+from repro.testing.faults import fault_point
 
 IDENT_T = TypeApp("ident")
 
@@ -38,7 +39,12 @@ class CatalogValue:
         assert isinstance(self.type, TypeApp)
         return len(self.type.args)
 
+    def clone(self) -> "CatalogValue":
+        """A snapshot copy (rows are immutable identifier tuples)."""
+        return CatalogValue(self.type, self.rows)
+
     def insert(self, row: Sequence) -> None:
+        fault_point("catalog.insert")
         entry = tuple(row)
         if len(entry) != self.width:
             raise ValueError(
@@ -48,6 +54,7 @@ class CatalogValue:
             self.rows.append(entry)
 
     def remove(self, row: Sequence) -> bool:
+        fault_point("catalog.remove")
         entry = tuple(row)
         if entry in self.rows:
             self.rows.remove(entry)

@@ -11,11 +11,12 @@ from __future__ import annotations
 
 from typing import Optional
 
-from repro.core.algebra import Evaluator, SecondOrderAlgebra
+from repro.core.algebra import Evaluator, ResourceLimits, SecondOrderAlgebra
 from repro.core.sos import SecondOrderSignature
 from repro.core.typecheck import TypeChecker
 from repro.core.types import Type, TypeApp, format_type, walk_type
 from repro.errors import CatalogError, ExecutionError
+from repro.testing.faults import fault_point
 
 
 class DatabaseObject:
@@ -45,6 +46,9 @@ class Database:
         self.objects: dict[str, DatabaseObject] = {}
         self.typechecker = TypeChecker(sos, object_types=self.type_of)
         self.evaluator = Evaluator(algebra, resolver=self.value_of)
+        #: The active :class:`~repro.system.transactions.Transaction`, if any.
+        #: Executors install it around statements; ``None`` between them.
+        self.transaction = None
         # Function-valued constructor arguments (B-tree/LSD-tree key
         # functions) are typechecked at type formation time.
         sos.type_system.term_typer = self._type_key_function
@@ -87,6 +91,8 @@ class Database:
         return obj.value
 
     def set_value(self, name: str, value) -> None:
+        self.protect(name)
+        fault_point("database.set_value")
         obj = self.objects.get(name)
         if obj is None:
             raise CatalogError(f"no such object: {name}")
@@ -95,6 +101,30 @@ class Database:
 
     def has_object(self, name: str) -> bool:
         return name in self.objects
+
+    # ----------------------------------------------------------- transactions
+
+    def protect(self, *names: str) -> None:
+        """Snapshot object values into the active transaction (no-op when
+        none is running).  ``set_value`` protects its target as a safety
+        net; the executors protect every referenced object *before*
+        evaluating an update term, which is what makes in-place update
+        functions roll back cleanly."""
+        txn = self.transaction
+        if txn is not None and txn.active:
+            txn.protect(*names)
+
+    def set_resource_limits(
+        self,
+        max_steps: Optional[int] = None,
+        max_depth: Optional[int] = None,
+    ) -> None:
+        """Configure the evaluator's per-statement resource guard; both
+        ``None`` removes it."""
+        if max_steps is None and max_depth is None:
+            self.evaluator.limits = None
+        else:
+            self.evaluator.limits = ResourceLimits(max_steps, max_depth)
 
     # ---------------------------------------------------------------- levels
 

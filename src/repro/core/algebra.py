@@ -42,7 +42,8 @@ from repro.core.types import (
     attrs_of,
     format_type,
 )
-from repro.errors import ExecutionError, UpdateError
+from repro.errors import ExecutionError, ResourceLimitError, UpdateError
+from repro.testing.faults import fault_point
 
 
 class TupleValue:
@@ -116,6 +117,10 @@ class Relation:
 
     def insert(self, row: TupleValue) -> None:
         self.rows.append(row)
+
+    def clone(self) -> "Relation":
+        """A snapshot copy (tuples are immutable and shared)."""
+        return Relation(self.type, self.rows)
 
     def __len__(self) -> int:
         return len(self.rows)
@@ -258,24 +263,71 @@ class OpContext:
         return bound
 
 
+@dataclass(slots=True)
+class ResourceLimits:
+    """Guards on evaluation: a budget of evaluation steps (term nodes
+    visited, closure bodies included) and a recursion-depth bound.
+
+    Either bound may be ``None`` (unbounded).  Exceeding a bound raises
+    :class:`~repro.errors.ResourceLimitError`, so a pathological query
+    degrades to a clean per-statement error instead of hanging or blowing
+    the Python stack.
+    """
+
+    max_steps: Optional[int] = None
+    max_depth: Optional[int] = None
+
+
 class Evaluator:
     """Evaluates typechecked terms against an algebra.
 
     ``resolver`` maps object names (:class:`ObjRef`) to their current values
     — typically :meth:`repro.catalog.database.Database.value_of`.
+
+    ``limits`` (a :class:`ResourceLimits`) arms the resource guard; the
+    step/depth counters are reset per statement via :meth:`begin_statement`.
     """
 
     def __init__(
         self,
         algebra: SecondOrderAlgebra,
         resolver: Optional[Callable[[str], object]] = None,
+        limits: Optional[ResourceLimits] = None,
     ):
         self.algebra = algebra
         self.resolver = resolver
+        self.limits = limits
+        self._steps = 0
+        self._depth = 0
+
+    def begin_statement(self) -> None:
+        """Reset the resource-guard counters (called once per statement)."""
+        self._steps = 0
+        self._depth = 0
 
     def eval(self, term: Term, env: Optional[dict] = None, allow_update: bool = False):
         """Evaluate a term.  ``allow_update`` permits an update function at
         the *root* only (the interpreter's update statement)."""
+        limits = self.limits
+        if limits is None:
+            return self._eval(term, env, allow_update)
+        self._steps += 1
+        if limits.max_steps is not None and self._steps > limits.max_steps:
+            raise ResourceLimitError(
+                f"evaluation exceeded the step budget of {limits.max_steps}"
+            )
+        self._depth += 1
+        try:
+            if limits.max_depth is not None and self._depth > limits.max_depth:
+                raise ResourceLimitError(
+                    f"evaluation exceeded the recursion-depth limit of "
+                    f"{limits.max_depth}"
+                )
+            return self._eval(term, env, allow_update)
+        finally:
+            self._depth -= 1
+
+    def _eval(self, term: Term, env: Optional[dict], allow_update: bool):
         if env is None:
             env = {}
         if isinstance(term, Literal):
@@ -331,6 +383,7 @@ class Evaluator:
         )
         if impl is None:
             raise ExecutionError(f"operator {term.op} has no implementation")
+        fault_point("evaluator.apply")
         args = [self.eval(a, env) for a in term.args]
         if resolved.spec is not None and resolved.spec.eager:
             args = [

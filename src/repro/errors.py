@@ -69,3 +69,85 @@ class UpdateError(ExecutionError):
 
 class StorageError(SOSError):
     """A storage structure (B-tree, LSD-tree, tidrel) was used incorrectly."""
+
+
+class ResourceLimitError(ExecutionError):
+    """Evaluation exceeded a configured resource guard (step budget or
+    recursion depth) — the statement is aborted instead of hanging."""
+
+
+class StatementError(SOSError):
+    """An error while processing one statement of a program.
+
+    Carries the statement index (0-based, ``None`` for single-statement
+    entry points), the statement source text, and the pipeline phase where
+    the error arose (``parse`` / ``typecheck`` / ``optimize`` / ``execute``).
+
+    Errors are wrapped through :func:`wrap_statement_error`, which builds a
+    dynamic subclass of both :class:`StatementError` and the original error
+    class — so ``except CatalogError`` and ``except StatementError`` both
+    catch a wrapped catalog error.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        index: int | None = None,
+        source: str | None = None,
+        phase: str | None = None,
+    ):
+        super().__init__(message)
+        self.index = index
+        self.source = source
+        self.phase = phase
+
+    def snippet(self, width: int = 78) -> str | None:
+        """The first line of the statement source, trimmed for display."""
+        if not self.source:
+            return None
+        line = self.source.strip().splitlines()[0]
+        return line if len(line) <= width else line[: width - 3] + "..."
+
+
+_WRAPPER_CLASSES: dict[type, type] = {}
+
+
+def statement_phase_of(exc: BaseException) -> str:
+    """The pipeline phase an exception class belongs to."""
+    if isinstance(exc, ParseError):
+        return "parse"
+    if isinstance(exc, (TypeCheckError, TypeFormationError)):
+        return "typecheck"
+    if isinstance(exc, OptimizationError):
+        return "optimize"
+    return "execute"
+
+
+def wrap_statement_error(
+    cause: SOSError,
+    *,
+    index: int | None = None,
+    source: str | None = None,
+    phase: str | None = None,
+) -> "StatementError":
+    """Wrap ``cause`` in a :class:`StatementError` that is also an instance
+    of the cause's own class (so existing handlers keep working)."""
+    if isinstance(cause, StatementError):
+        return cause
+    wrapper = _WRAPPER_CLASSES.get(type(cause))
+    if wrapper is None:
+        wrapper = type(
+            "Statement" + type(cause).__name__,
+            (StatementError, type(cause)),
+            {"__init__": StatementError.__init__},
+        )
+        _WRAPPER_CLASSES[type(cause)] = wrapper
+    if phase is None:
+        phase = statement_phase_of(cause)
+    where = f"statement {index + 1}" if index is not None else "statement"
+    err = wrapper(
+        f"{where} ({phase}): {cause}", index=index, source=source, phase=phase
+    )
+    err.__cause__ = cause
+    return err

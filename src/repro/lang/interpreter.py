@@ -26,7 +26,13 @@ from repro.catalog.database import Database
 from repro.core.algebra import Stream
 from repro.core.terms import Apply, ObjRef, Term, Var
 from repro.core.types import Type, format_type
-from repro.errors import TypeCheckError, UpdateError
+from repro.errors import (
+    ResourceLimitError,
+    SOSError,
+    TypeCheckError,
+    UpdateError,
+    wrap_statement_error,
+)
 from repro.lang.parser import (
     CreateStmt,
     DeleteStmt,
@@ -72,23 +78,43 @@ class Interpreter:
         """Parse and execute a program (one or more statements).
 
         Each statement gets a fresh parser so that types and objects defined
-        by earlier statements are visible to later ones.
+        by earlier statements are visible to later ones.  Errors escape as
+        :class:`~repro.errors.StatementError` (still instances of their
+        original class) carrying the statement index and source.
         """
         from repro.lang.parser import split_statements
 
         results = []
-        for chunk in split_statements(source):
-            statement = self.make_parser().parse_statement(chunk)
-            results.append(self.execute(statement))
+        for index, chunk in enumerate(split_statements(source)):
+            results.append(self._process(chunk, index))
         return results
 
     def run_one(self, source: str) -> StatementResult:
-        statement = self.make_parser().parse_statement(source)
-        return self.execute(statement)
+        return self._process(source, None)
+
+    def _process(self, chunk: str, index: Optional[int]) -> StatementResult:
+        try:
+            statement = self.make_parser().parse_statement(chunk)
+            return self.execute(statement)
+        except SOSError as exc:
+            raise wrap_statement_error(exc, index=index, source=chunk) from exc
+        except RecursionError as exc:
+            err = ResourceLimitError(
+                "evaluation exceeded the Python recursion limit"
+            )
+            raise wrap_statement_error(err, index=index, source=chunk) from exc
 
     # ------------------------------------------------------------- execution
 
     def execute(self, statement: Statement) -> StatementResult:
+        """Execute one parsed statement atomically: on any error the
+        database is rolled back to its pre-statement state."""
+        from repro.system.transactions import statement_transaction
+
+        with statement_transaction(self.database):
+            return self._execute(statement)
+
+    def _execute(self, statement: Statement) -> StatementResult:
         if isinstance(statement, TypeStmt):
             t = self.database.define_type(statement.name, statement.type)
             return StatementResult("type", name=statement.name, type=t)
@@ -130,6 +156,7 @@ class Interpreter:
         tc = self.database.typechecker
         term = tc.check_value_term(statement.expr, obj.type)
         self._check_update_root(term, statement.name)
+        self._protect_update(term, statement.name)
         value = self.database.evaluator.eval(term, allow_update=True)
         if isinstance(value, Stream):
             value = value.materialize()
@@ -137,6 +164,14 @@ class Interpreter:
         return StatementResult(
             "update", name=statement.name, type=obj.type, value=value, term=term
         )
+
+    def _protect_update(self, term: Term, target: str) -> None:
+        """Snapshot the target and every object the update term references
+        before evaluation — update functions mutate values in place, so the
+        transaction must copy them *first* to be able to roll back."""
+        from repro.system.transactions import referenced_objects
+
+        self.database.protect(target, *referenced_objects(term, self.database))
 
     def _check_update_root(self, term: Term, target: str) -> None:
         """An update function's first argument must be the updated object

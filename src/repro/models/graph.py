@@ -64,6 +64,13 @@ class GraphValue:
         assert isinstance(self.type, TypeApp)
         return self.type.args[1]  # type: ignore[return-value]
 
+    def clone(self) -> "GraphValue":
+        """A snapshot copy: the graph topology and attribute dicts are
+        copied, the (immutable) attribute tuples are shared."""
+        twin = GraphValue(self.type)
+        twin.g = self.g.copy()
+        return twin
+
     def add_node(self, node_id: int, attrs: TupleValue) -> None:
         self.g.add_node(node_id, attrs=attrs)
 

@@ -53,6 +53,7 @@ from repro.core.types import (
     tuple_type,
 )
 from repro.errors import ExecutionError
+from repro.testing.faults import fault_point
 from repro.models.common import (
     BOOL,
     add_arithmetic,
@@ -114,21 +115,25 @@ def _empty_impl(ctx) -> Relation:
 
 
 def _insert_impl(ctx, rel: Relation, tup: TupleValue) -> Relation:
+    fault_point("rel.insert")
     rel.insert(tup)
     return rel
 
 
 def _rel_insert_impl(ctx, rel: Relation, other: Relation) -> Relation:
+    fault_point("rel.insert")
     rel.rows.extend(other.rows)
     return rel
 
 
 def _delete_impl(ctx, rel: Relation, pred) -> Relation:
+    fault_point("rel.delete")
     rel.rows[:] = [t for t in rel.rows if not pred(t)]
     return rel
 
 
 def _modify_impl(ctx, rel: Relation, pred, attr: Sym, fn) -> Relation:
+    fault_point("rel.modify")
     name = attr.name
     rel.rows[:] = [
         t.with_attr(name, fn(t)) if pred(t) else t for t in rel.rows

@@ -23,6 +23,7 @@ from typing import Optional, Sequence
 from repro.core.terms import Apply, Call, Fun, ListTerm, Term, TupleTerm
 from repro.errors import OptimizationError, TypeCheckError
 from repro.optimizer.rules import RewriteRule
+from repro.testing.faults import fault_point
 
 MAX_REWRITES = 200
 
@@ -173,6 +174,7 @@ class Optimizer:
                         checked = db.typechecker.check(candidate)
                     except TypeCheckError:
                         continue
+                    fault_point("optimizer.rule")
                     stats.fired.append(rule.name)
                     return checked
             return None
@@ -194,6 +196,7 @@ class Optimizer:
                 if best_cost is None or cost < best_cost:
                     best, best_cost, best_rule = checked, cost, rule
         if best is not None:
+            fault_point("optimizer.rule")
             stats.fired.append(best_rule.name)
             return best
         return None

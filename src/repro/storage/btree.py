@@ -25,6 +25,7 @@ from typing import Callable, Iterable, Iterator, Optional
 
 from repro.errors import StorageError
 from repro.storage.io import GLOBAL_PAGES, PageManager
+from repro.testing.faults import fault_point
 
 
 class _Sentinel:
@@ -54,6 +55,19 @@ class _Node:
         self.children: list["_Node"] = []  # internal only
         self.next: Optional["_Node"] = None  # leaf chain
         self.page_id = page_id
+
+
+def _clone_node(node: _Node, leaves: list) -> _Node:
+    """Copy a subtree (same page ids, shared tuple values), collecting the
+    cloned leaves in tree order so the caller can rebuild the leaf chain."""
+    twin = _Node(leaf=node.leaf, page_id=node.page_id)
+    twin.keys = list(node.keys)
+    if node.leaf:
+        twin.values = list(node.values)
+        leaves.append(twin)
+    else:
+        twin.children = [_clone_node(child, leaves) for child in node.children]
+    return twin
 
 
 class BTree:
@@ -170,10 +184,27 @@ class BTree:
             self.pages.read(node.page_id)
         return node, bisect_left(node.keys, key)
 
+    # ----------------------------------------------------------- snapshots
+
+    def clone(self) -> "BTree":
+        """A structural copy sharing keys, tuples, the key function and the
+        page manager (page ids included — a clone is a logical snapshot of
+        the same disk pages, so taking it costs no simulated I/O)."""
+        twin = BTree.__new__(BTree)
+        twin.__dict__.update(self.__dict__)
+        leaves: list[_Node] = []
+        twin._root = _clone_node(self._root, leaves)
+        for left, right in zip(leaves, leaves[1:]):
+            left.next = right
+        if leaves:
+            leaves[-1].next = None
+        return twin
+
     # ------------------------------------------------------------ insertion
 
     def insert(self, value) -> None:
         """Insert one tuple (the ``insert`` update function)."""
+        fault_point("btree.insert")
         key = self.key(value)
         split = self._insert(self._root, key, value)
         if split is not None:
@@ -333,6 +364,7 @@ class BTree:
 
         Returns whether a matching tuple was present.
         """
+        fault_point("btree.delete")
         key = self.key(value)
         removed = self._delete(self._root, key, value)
         if removed:
@@ -459,6 +491,7 @@ class BTree:
             raise StorageError("modify function changed the number of tuples")
         changed = 0
         for old, new in zip(originals, modified):
+            fault_point("btree.modify")
             old_key = self.key(old)
             new_key = self.key(new)
             if old_key != new_key:
@@ -479,6 +512,7 @@ class BTree:
         if len(modified) != len(originals):
             raise StorageError("re_insert function changed the number of tuples")
         for old, new in zip(originals, modified):
+            fault_point("btree.re_insert")
             if not self.delete(old):
                 raise StorageError("tuple to re_insert not found in B-tree")
             self.insert(new)

@@ -28,6 +28,7 @@ from typing import Callable, Iterable, Iterator, Optional
 from repro.errors import StorageError
 from repro.geometry import Point, Rect
 from repro.storage.io import GLOBAL_PAGES, PageManager
+from repro.testing.faults import fault_point
 
 _DIMS = 4
 _NEG_INF = -math.inf
@@ -84,10 +85,21 @@ class LSDTree:
     def __len__(self) -> int:
         return self._count
 
+    # ------------------------------------------------------------ snapshots
+
+    def clone(self) -> "LSDTree":
+        """A structural copy sharing entries, the key function and the page
+        manager (same page ids).  Costs no simulated I/O."""
+        twin = LSDTree.__new__(LSDTree)
+        twin.__dict__.update(self.__dict__)
+        twin._root = _clone_subtree(self._root)
+        return twin
+
     # ------------------------------------------------------------- insertion
 
     def insert(self, value) -> None:
         """Insert one tuple; its rectangle comes from the key function."""
+        fault_point("lsdtree.insert")
         rect = self.key(value)
         if not isinstance(rect, Rect):
             raise StorageError(f"LSD-tree key function must yield a rect, got {rect!r}")
@@ -118,11 +130,17 @@ class LSDTree:
         for probe in range(_DIMS):
             dim = (depth + probe) % _DIMS
             coords = sorted(entry[0][dim] for entry in bucket.entries)
-            position = coords[len(coords) // 2 - 1] if len(coords) % 2 == 0 else coords[len(coords) // 2]
+            if coords[0] == coords[-1]:
+                continue  # no split possible in this dimension
+            position = coords[(len(coords) - 1) // 2]
+            if position == coords[-1]:
+                # Duplicate-heavy bucket: the median equals the maximum, which
+                # would leave the right side empty.  Split below the maximum
+                # instead (the dimension is splittable, so one exists).
+                position = max(c for c in coords if c < coords[-1])
             left_entries = [e for e in bucket.entries if e[0][dim] <= position]
             right_entries = [e for e in bucket.entries if e[0][dim] > position]
-            if left_entries and right_entries:
-                break
+            break
         else:
             # All entries identical in every dimension: overflow the bucket.
             return _DirNode(
@@ -183,6 +201,7 @@ class LSDTree:
 
     def delete(self, value) -> bool:
         """Delete one tuple (found via its rectangle, then equality)."""
+        fault_point("lsdtree.delete")
         rect = self.key(value)
         point = _to_4d(rect)
         node = self._root
@@ -237,3 +256,15 @@ class LSDTree:
 
 def _make_empty(tree: LSDTree) -> _Bucket:
     return _Bucket(tree.pages.allocate())
+
+
+def _clone_subtree(node):
+    """Copy a directory subtree; buckets keep their page ids and share the
+    stored (point, rect, tuple) entries."""
+    if isinstance(node, _Bucket):
+        twin = _Bucket(node.page_id)
+        twin.entries = list(node.entries)
+        return twin
+    return _DirNode(
+        node.dim, node.position, _clone_subtree(node.left), _clone_subtree(node.right)
+    )

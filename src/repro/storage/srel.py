@@ -11,6 +11,7 @@ from __future__ import annotations
 from typing import Iterable, Iterator, Optional
 
 from repro.storage.io import GLOBAL_PAGES, PageManager
+from repro.testing.faults import fault_point
 
 
 class SRel:
@@ -31,7 +32,16 @@ class SRel:
             for t in tuples:
                 self.append(t)
 
+    def clone(self) -> "SRel":
+        """A snapshot copy: pages copied (same page ids), tuples and the
+        page manager shared.  Costs no simulated I/O."""
+        twin = SRel.__new__(SRel)
+        twin.__dict__.update(self.__dict__)
+        twin._pages = [(page_id, list(content)) for page_id, content in self._pages]
+        return twin
+
     def append(self, value) -> None:
+        fault_point("srel.append")
         if not self._pages or len(self._pages[-1][1]) >= self.page_capacity:
             self._pages.append((self.pages.allocate(), []))
         page_id, content = self._pages[-1]

@@ -14,6 +14,7 @@ from typing import Callable, Iterable, Iterator, Optional
 from repro.errors import StorageError
 from repro.storage.btree import BTree
 from repro.storage.io import GLOBAL_PAGES, PageManager
+from repro.testing.faults import fault_point
 
 
 class TidRelation:
@@ -31,8 +32,17 @@ class TidRelation:
         self._pages: list[tuple[int, list]] = []
         self._count = 0
 
+    def clone(self) -> "TidRelation":
+        """A snapshot copy: pages are copied (same page ids), tuples and the
+        page manager are shared.  Costs no simulated I/O."""
+        twin = TidRelation.__new__(TidRelation)
+        twin.__dict__.update(self.__dict__)
+        twin._pages = [(page_id, list(content)) for page_id, content in self._pages]
+        return twin
+
     def insert(self, value) -> tuple[int, int]:
         """Insert a tuple; returns its TID."""
+        fault_point("tidrel.insert")
         if not self._pages or len(self._pages[-1][1]) >= self.page_capacity:
             self._pages.append((self.pages.allocate(), []))
         page_index = len(self._pages) - 1
@@ -61,6 +71,7 @@ class TidRelation:
 
     def delete(self, tid: tuple[int, int]) -> None:
         """Delete the tuple at ``tid`` (slot is tombstoned)."""
+        fault_point("tidrel.delete")
         page_index, slot = tid
         try:
             page_id, content = self._pages[page_index]
@@ -74,6 +85,7 @@ class TidRelation:
 
     def replace(self, tid: tuple[int, int], value) -> None:
         """Overwrite the tuple at ``tid`` in place."""
+        fault_point("tidrel.replace")
         page_index, slot = tid
         try:
             page_id, content = self._pages[page_index]
@@ -131,6 +143,15 @@ class SecondaryIndex:
             pages=pages if pages is not None else relation.pages,
             name=name,
         )
+
+    def clone(self) -> "SecondaryIndex":
+        """A snapshot copy of the index tree; the underlying heap relation
+        reference is shared (the transaction layer restores heap content in
+        place, so the reference stays valid across rollbacks)."""
+        twin = SecondaryIndex.__new__(SecondaryIndex)
+        twin.__dict__.update(self.__dict__)
+        twin._tree = self._tree.clone()
+        return twin
 
     def build(self) -> None:
         """Index every live tuple currently in the relation."""

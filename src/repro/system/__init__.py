@@ -18,13 +18,23 @@ from repro.system.sos_system import (
     make_relational_database,
     make_relational_system,
 )
+from repro.system.transactions import (
+    Savepoint,
+    Transaction,
+    program_transaction,
+    statement_transaction,
+)
 
 __all__ = [
     "SOSSystem",
     "SystemResult",
+    "Savepoint",
+    "Transaction",
     "make_model_interpreter",
     "make_relational_database",
     "make_relational_system",
     "dump_program",
     "restore_program",
+    "program_transaction",
+    "statement_transaction",
 ]

@@ -30,7 +30,14 @@ from repro.core.algebra import SecondOrderAlgebra, Stream
 from repro.core.sos import SignatureBuilder
 from repro.core.terms import Apply, ObjRef, Term, Var, format_term
 from repro.core.types import Type
-from repro.errors import CatalogError, OptimizationError, UpdateError
+from repro.errors import (
+    CatalogError,
+    OptimizationError,
+    ResourceLimitError,
+    SOSError,
+    UpdateError,
+    wrap_statement_error,
+)
 from repro.lang.interpreter import Interpreter
 from repro.lang.parser import (
     CreateStmt,
@@ -45,6 +52,11 @@ from repro.models.base import add_base_level, register_base_carriers
 from repro.models.relational import add_relational_level, register_relational_carriers
 from repro.optimizer import Optimizer, standard_optimizer
 from repro.rep.model import add_representation_level, register_rep_carriers
+from repro.system.transactions import (
+    program_transaction,
+    referenced_objects,
+    statement_transaction,
+)
 
 
 @dataclass(slots=True)
@@ -133,16 +145,43 @@ class SOSSystem:
 
     # ------------------------------------------------------------------- API
 
-    def run(self, source: str) -> list[SystemResult]:
+    def run(self, source: str, atomic: bool = False) -> list[SystemResult]:
+        """Process a program statement by statement.
+
+        Each statement executes atomically (an error rolls the database
+        back to the statement boundary).  With ``atomic=True`` the whole
+        program is one transaction: any statement failure undoes every
+        preceding statement of the program as well.
+
+        Errors escape as :class:`~repro.errors.StatementError` — still
+        instances of their original class — carrying the statement index,
+        source text and pipeline phase.
+        """
+        if atomic:
+            with program_transaction(self.database):
+                return self._run_statements(source)
+        return self._run_statements(source)
+
+    def _run_statements(self, source: str) -> list[SystemResult]:
         results = []
-        for chunk in split_statements(source):
-            statement = self.interpreter.make_parser().parse_statement(chunk)
-            results.append(self.execute(statement))
+        for index, chunk in enumerate(split_statements(source)):
+            results.append(self._process(chunk, index))
         return results
 
     def run_one(self, source: str) -> SystemResult:
-        statement = self.interpreter.make_parser().parse_statement(source)
-        return self.execute(statement)
+        return self._process(source, None)
+
+    def _process(self, chunk: str, index: Optional[int]) -> SystemResult:
+        try:
+            statement = self.interpreter.make_parser().parse_statement(chunk)
+            return self.execute(statement)
+        except SOSError as exc:
+            raise wrap_statement_error(exc, index=index, source=chunk) from exc
+        except RecursionError as exc:
+            err = ResourceLimitError(
+                "evaluation exceeded the Python recursion limit"
+            )
+            raise wrap_statement_error(err, index=index, source=chunk) from exc
 
     def query(self, source: str):
         """Convenience: run one query statement, return its value."""
@@ -159,9 +198,10 @@ class SOSSystem:
         from repro.core.terms import clone_term
         from repro.optimizer.cost import estimate
 
-        statement = self.interpreter.make_parser().parse_statement(
-            source if source.lstrip().startswith("query") else "query " + source
-        )
+        words = source.split()
+        if not words or words[0] not in ("type", "create", "update", "delete", "query"):
+            source = "query " + source
+        statement = self.interpreter.make_parser().parse_statement(source)
         if not isinstance(statement, QueryStmt):
             raise UpdateError("explain only accepts query statements")
         tc = self.database.typechecker
@@ -185,6 +225,13 @@ class SOSSystem:
     # ------------------------------------------------------------- execution
 
     def execute(self, statement: Statement) -> SystemResult:
+        """Process one parsed statement atomically: on any error the
+        database (catalog and object values) is rolled back to its
+        pre-statement state."""
+        with statement_transaction(self.database):
+            return self._execute(statement)
+
+    def _execute(self, statement: Statement) -> SystemResult:
         if isinstance(statement, TypeStmt):
             t = self.database.define_type(statement.name, statement.type)
             return SystemResult("type", name=statement.name, type=t)
@@ -257,6 +304,9 @@ class SOSSystem:
         if obj.level != "model" and level != "model":
             # Direct execution at the representation/hybrid level.
             self.interpreter._check_update_root(term, statement.name)
+            self.database.protect(
+                statement.name, *referenced_objects(term, self.database)
+            )
             value = self.database.evaluator.eval(term, allow_update=True)
             if isinstance(value, Stream):
                 value = value.materialize()
@@ -278,6 +328,9 @@ class SOSSystem:
                 f"{format_term(term)}"
             )
         target = self._update_target(translated)
+        self.database.protect(
+            statement.name, target, *referenced_objects(translated, self.database)
+        )
         value = self.database.evaluator.eval(translated, allow_update=True)
         if isinstance(value, Stream):
             value = value.materialize()

@@ -1,0 +1,30 @@
+"""Failure-testing utilities: deterministic fault injection.
+
+This package is part of the library (not the test suite) so that fault
+points can be compiled into the production code paths at negligible cost
+and armed from any client — the crash-consistency tests, the benchmarks,
+or an interactive session.
+"""
+
+from repro.testing.faults import (
+    FAULT_SITES,
+    FaultPlan,
+    InjectedFault,
+    arm,
+    clear_faults,
+    fault_point,
+    inject,
+)
+from repro.testing.state import database_fingerprint, value_fingerprint
+
+__all__ = [
+    "FAULT_SITES",
+    "FaultPlan",
+    "InjectedFault",
+    "arm",
+    "clear_faults",
+    "database_fingerprint",
+    "fault_point",
+    "inject",
+    "value_fingerprint",
+]

@@ -1,0 +1,56 @@
+"""Deterministic fingerprints of database state, for crash-consistency tests.
+
+A fingerprint is a hashable value capturing everything a statement can
+change: the type aliases, the object catalog (names, types, levels) and
+every object's value content.  Two fingerprints are equal exactly when the
+two database states are observably equal — which is what the fault-injection
+suite asserts: *after an injected fault, the database fingerprint equals the
+pre-statement fingerprint*.
+"""
+
+from __future__ import annotations
+
+from repro.core.types import format_type
+
+
+def value_fingerprint(value):
+    """A content-based, order-respecting fingerprint of one object value."""
+    if value is None:
+        return None
+    # Secondary indexes: fingerprint the index tree (the heap reference is
+    # covered by the heap object's own fingerprint).
+    tree = getattr(value, "_tree", None)
+    if tree is not None:
+        return ("index", value_fingerprint(tree))
+    rows = getattr(value, "rows", None)
+    if rows is not None:
+        return (type(value).__name__, tuple(repr(r) for r in rows))
+    graph = getattr(value, "g", None)
+    if graph is not None:
+        nodes = tuple(
+            (n, repr(d.get("attrs"))) for n, d in sorted(graph.nodes(data=True))
+        )
+        edges = tuple(
+            sorted((u, v, repr(d.get("attrs"))) for u, v, d in graph.edges(data=True))
+        )
+        return ("graph", nodes, edges)
+    scan = getattr(value, "scan", None)
+    if scan is not None:
+        return (type(value).__name__, tuple(repr(v) for v in scan()))
+    if isinstance(value, list):
+        return ("list", tuple(value_fingerprint(v) for v in value))
+    return repr(value)
+
+
+def database_fingerprint(database) -> tuple:
+    """The full observable state of a database, as a hashable value."""
+    aliases = tuple(
+        sorted((name, format_type(t)) for name, t in database.aliases.items())
+    )
+    objects = tuple(
+        sorted(
+            (name, format_type(obj.type), obj.level, value_fingerprint(obj.value))
+            for name, obj in database.objects.items()
+        )
+    )
+    return (aliases, objects)

@@ -63,6 +63,61 @@ class TestFileExecution:
         assert result.returncode == 1
         assert "error:" in result.stderr
 
+    def test_error_carries_statement_index_and_snippet(self, tmp_path):
+        path = tmp_path / "bad.sos"
+        path.write_text(
+            "type t = tuple(<(a, int)>)\n"
+            "create r : rel(t)\n"
+            "update ghost := insert(ghost, mktuple[<(a, 1)>])\n"
+        )
+        result = run_cli(["--model", str(path)])
+        assert result.returncode == 1
+        assert "statement 3" in result.stderr
+        assert "in: update ghost := insert(ghost, mktuple[<(a, 1)>])" in result.stderr
+
+    def test_error_phase_reported(self, tmp_path):
+        path = tmp_path / "bad.sos"
+        path.write_text('query 1 + "s"\n')
+        result = run_cli(["--model", str(path)])
+        assert result.returncode == 1
+        assert "(typecheck)" in result.stderr
+
+    def test_statements_before_error_keep_their_effect(self, tmp_path):
+        """Per-statement atomicity: the dump written after a clean run of
+        the same prefix equals what the failed run left behind."""
+        path = tmp_path / "partial.sos"
+        path.write_text(
+            "type t = tuple(<(a, int)>)\n"
+            "create r : srel(t)\n"
+            "update r := insert(r, mktuple[<(a, 1)>])\n"
+        )
+        dump = tmp_path / "state.sos"
+        result = run_cli(["--dump", str(dump), str(path)])
+        assert result.returncode == 0, result.stderr
+        assert "insert" in dump.read_text()
+
+    def test_max_steps_flag(self, tmp_path):
+        path = tmp_path / "p.sos"
+        path.write_text("query 1 + 2 * 3 + 4 * 5\n")
+        result = run_cli(["--model", "--max-steps", "3", str(path)])
+        assert result.returncode == 1
+        assert "step budget" in result.stderr
+        result = run_cli(["--model", "--max-steps", "100000", str(path)])
+        assert result.returncode == 0
+
+    def test_max_depth_flag(self, tmp_path):
+        path = tmp_path / "p.sos"
+        path.write_text("query 1 + (2 + (3 + (4 + 5)))\n")
+        result = run_cli(["--model", "--max-depth", "2", str(path)])
+        assert result.returncode == 1
+        assert "recursion-depth" in result.stderr
+
+    def test_bad_max_steps_value(self, tmp_path):
+        path = tmp_path / "p.sos"
+        path.write_text("query 1\n")
+        result = run_cli(["--max-steps", "many", str(path)])
+        assert result.returncode == 2
+
 
 class TestRepl:
     def test_query_and_quit(self):

@@ -1,0 +1,99 @@
+"""Resource guards on evaluation: step budgets and recursion-depth limits."""
+
+import pytest
+
+from repro.core.algebra import ResourceLimits
+from repro.errors import ExecutionError, ResourceLimitError, StatementError
+from repro.system import make_relational_system
+from repro.testing import database_fingerprint
+
+
+@pytest.fixture()
+def system():
+    return make_relational_system()
+
+
+class TestStepBudget:
+    def test_budget_exceeded_raises(self, system):
+        system.database.set_resource_limits(max_steps=5)
+        with pytest.raises(ResourceLimitError):
+            system.run_one("query 1 + 2 * 3 + 4 * 5")
+
+    def test_error_class_and_statement_wrapping(self, system):
+        system.database.set_resource_limits(max_steps=5)
+        with pytest.raises(ResourceLimitError) as info:
+            system.run_one("query 1 + 2 * 3 + 4 * 5")
+        assert isinstance(info.value, ExecutionError)
+        assert isinstance(info.value, StatementError)
+
+    def test_budget_is_per_statement(self, system):
+        """Counters reset at each statement boundary — a budget that admits
+        one small query admits any number of them in sequence."""
+        system.database.set_resource_limits(max_steps=50)
+        for _ in range(10):
+            assert system.run_one("query 1 + 2 * 3").value == 7
+
+    def test_generous_budget_does_not_interfere(self, system):
+        system.database.set_resource_limits(max_steps=1_000_000)
+        system.run(
+            """
+type t = tuple(<(a, int)>)
+create r : srel(t)
+update r := insert(r, mktuple[<(a, 1)>])
+"""
+        )
+        assert system.query("r feed count") == 1
+
+    def test_aborted_statement_rolls_back(self, system):
+        system.run(
+            """
+type t = tuple(<(a, int)>)
+create r : srel(t)
+"""
+        )
+        before = database_fingerprint(system.database)
+        system.database.set_resource_limits(max_steps=3)
+        with pytest.raises(ResourceLimitError):
+            system.run_one("update r := insert(r, mktuple[<(a, 1)>])")
+        system.database.set_resource_limits()
+        assert database_fingerprint(system.database) == before
+
+
+class TestDepthLimit:
+    def test_depth_exceeded_raises(self, system):
+        system.database.set_resource_limits(max_depth=3)
+        with pytest.raises(ResourceLimitError):
+            system.run_one("query 1 + (2 + (3 + (4 + (5 + 6))))")
+
+    def test_shallow_terms_pass(self, system):
+        system.database.set_resource_limits(max_depth=50)
+        assert system.run_one("query 1 + 2").value == 3
+
+    def test_depth_releases_on_unwind(self, system):
+        """Depth counts the *current* evaluation stack, not total visits: a
+        wide-but-shallow term stays under a small depth limit."""
+        system.database.set_resource_limits(max_depth=10)
+        wide = ", ".join(f"(a{i}, {i})" for i in range(40))
+        result = system.run_one(f"query mktuple[<{wide}>]")
+        assert result.value.attr("a39") == 39
+
+
+class TestConfiguration:
+    def test_limits_can_be_cleared(self, system):
+        system.database.set_resource_limits(max_steps=1)
+        with pytest.raises(ResourceLimitError):
+            system.run_one("query 1 + 1")
+        system.database.set_resource_limits()
+        assert system.run_one("query 1 + 1").value == 2
+
+    def test_limits_object_on_evaluator(self, system):
+        system.database.set_resource_limits(max_steps=9, max_depth=7)
+        limits = system.database.evaluator.limits
+        assert isinstance(limits, ResourceLimits)
+        assert limits.max_steps == 9
+        assert limits.max_depth == 7
+        system.database.set_resource_limits()
+        assert system.database.evaluator.limits is None
+
+    def test_unlimited_by_default(self, system):
+        assert system.database.evaluator.limits is None
