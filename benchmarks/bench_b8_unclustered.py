@@ -18,7 +18,7 @@ import pytest
 
 from repro.models.relational import make_tuple
 from repro.storage.io import GLOBAL_PAGES
-from repro.system import make_relational_system
+from repro.system import build_relational_system
 
 N = 4000
 SELECTIVITIES = [0.01, 0.1, 0.5]
@@ -26,7 +26,7 @@ SELECTIVITIES = [0.01, 0.1, 0.5]
 
 @pytest.fixture(scope="module")
 def system():
-    system = make_relational_system()
+    system = build_relational_system()
     system.run(
         """
 type item = tuple(<(sku, string), (price, int)>)

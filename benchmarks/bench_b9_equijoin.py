@@ -8,7 +8,7 @@ O(n log n + m log m); the gap widens with n.
 import pytest
 
 from repro.models.relational import make_tuple
-from repro.system import make_relational_system
+from repro.system import build_relational_system
 
 SIZES = [500, 2000]
 N_DIM = 100
@@ -24,7 +24,7 @@ HASH_DIRECT = "query facts_rep feed dims_rep feed hash_join[fk, pk] count"
 
 
 def build(n):
-    system = make_relational_system()
+    system = build_relational_system()
     system.run(
         """
 type fact = tuple(<(fid, int), (fk, int)>)

@@ -12,7 +12,7 @@ import pytest
 
 from repro.geometry import Point
 from repro.models.relational import make_tuple
-from repro.system import make_relational_system
+from repro.system import build_relational_system
 
 SCHEMA = """
 type city = tuple(<(cname, string), (center, point), (pop, int)>)
@@ -28,7 +28,7 @@ INSERT = (
 
 
 def fresh_system(n=0):
-    system = make_relational_system()
+    system = build_relational_system()
     system.run(SCHEMA)
     bt = system.database.objects["cities_rep"].value
     city_t = system.database.aliases["city"]

@@ -1,0 +1,57 @@
+"""Benchmark-suite options.
+
+``--metrics PATH`` arms :mod:`repro.observe` metric collection around every
+benchmark test and dumps the per-test operator/storage counters as JSON to
+PATH (``-`` for stdout).  CI runs a smoke pass with it and fails if any
+instrumented counter comes back missing or zero — a regression canary for
+the observability layer itself (see docs/OBSERVABILITY.md).
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro import observe
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--metrics",
+        action="store",
+        default=None,
+        metavar="PATH",
+        help=(
+            "collect operator and storage counters for each benchmark and "
+            "dump them as JSON to PATH ('-' for stdout)"
+        ),
+    )
+
+
+def pytest_configure(config):
+    config._benchmark_metrics = {}
+
+
+@pytest.fixture(autouse=True)
+def _metrics_collection(request):
+    """Collect execution metrics over the whole test (all benchmark rounds)
+    when ``--metrics`` is given; otherwise a no-op."""
+    if not request.config.getoption("--metrics"):
+        yield
+        return
+    with observe.collecting() as metrics:
+        yield
+    request.config._benchmark_metrics[request.node.nodeid] = metrics.as_dict()
+
+
+def pytest_sessionfinish(session, exitstatus):
+    path = session.config.getoption("--metrics", default=None)
+    if not path:
+        return
+    payload = json.dumps(session.config._benchmark_metrics, indent=2, sort_keys=True)
+    if path == "-":
+        print(payload)
+    else:
+        with open(path, "w") as out:
+            out.write(payload + "\n")

@@ -13,7 +13,7 @@ import random
 
 from repro.geometry import Point, Polygon
 from repro.models.relational import make_tuple
-from repro.system import SOSSystem, make_relational_system
+from repro.system import SOSSystem, build_relational_system
 
 SCHEMA = """
 type city = tuple(<(cname, string), (center, point), (pop, int)>)
@@ -34,7 +34,7 @@ def build_spatial_system(
     n_cities: int, n_states: int, seed: int = 1993
 ) -> SOSSystem:
     """The cities/states schema with representations filled directly."""
-    system = make_relational_system()
+    system = build_relational_system()
     system.run(SCHEMA)
     city_t = system.database.aliases["city"]
     state_t = system.database.aliases["state"]

@@ -12,7 +12,7 @@ import random
 
 from repro.models.relational import make_tuple
 from repro.storage.io import GLOBAL_PAGES
-from repro.system import make_relational_system
+from repro.api import connect
 
 
 def measure(system, title, text):
@@ -29,7 +29,7 @@ def measure(system, title, text):
 
 
 def main() -> None:
-    system = make_relational_system()
+    system = connect()
     system.run(
         """
 type order = tuple(<(country, string), (town, string), (price, int)>)

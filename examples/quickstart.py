@@ -7,7 +7,7 @@ a B-tree representation and shows the optimizer translating a model query.
 Run:  python examples/quickstart.py
 """
 
-from repro.system import make_model_interpreter, make_relational_system
+from repro.api import connect
 
 PROGRAM = """
 type city = tuple(< (name, string), (pop, int), (country, string) >)
@@ -22,7 +22,7 @@ update cities := insert(cities, mktuple[<(name, "Lyon"), (pop, 520000), (country
 
 def model_level() -> None:
     print("== Part 1: the Section 2.4 program at the model level ==")
-    interp = make_model_interpreter()
+    interp = connect(model="model")
     interp.run(PROGRAM)
 
     result = interp.run_one("query cities select[pop > 1000000]")
@@ -57,7 +57,7 @@ update cities_in := fun (c: string) cities select[country = c]
 
 def optimizing_system() -> None:
     print("\n== Part 2: the same schema with a B-tree representation ==")
-    system = make_relational_system()
+    system = connect()
     system.run(
         """
 type city = tuple(< (name, string), (pop, int), (country, string) >)

@@ -18,14 +18,14 @@ import random
 import time
 
 from repro.storage.io import GLOBAL_PAGES
-from repro.system import make_relational_system
+from repro.api import connect
 
 N_CITIES = 300
 N_STATES = 25
 
 
 def build_system():
-    system = make_relational_system()
+    system = connect()
     system.run(
         """
 type city = tuple(<(cname, string), (center, point), (pop, int)>)

@@ -8,7 +8,7 @@ R(epresentation) statements, which are printed like the paper's
 Run:  python examples/views_and_updates.py
 """
 
-from repro.system import make_relational_system
+from repro.api import connect
 
 
 def show(system, text):
@@ -22,7 +22,7 @@ def show(system, text):
 
 
 def main() -> None:
-    system = make_relational_system()
+    system = connect()
 
     print("-- schema and representation (paper Section 6) --")
     show(system, "type city = tuple(<(cname, string), (center, point), (pop, int)>)")

@@ -22,13 +22,17 @@ The library provides:
 
 Quickstart::
 
-    from repro.system import make_relational_system
+    from repro.api import connect
 
-    system = make_relational_system()
-    system.run('type city = tuple(<(name, string), (pop, int)>)')
-    system.run('create cities : rel(city)')
+    db = connect()
+    db.run('type city = tuple(<(name, string), (pop, int)>)')
+    db.run('create cities : rel(city)')
     ...
-    result = system.run('query cities select[pop > 100000]')
+    result = db.query('cities select[pop > 100000]')
+    print(result.value, result.timings)
+
+Observability (events, per-operator metrics, EXPLAIN ANALYZE) is described
+in ``docs/OBSERVABILITY.md``; :mod:`repro.observe` holds the machinery.
 """
 
 from repro.errors import (
@@ -49,22 +53,29 @@ from repro.errors import (
 __version__ = "1.0.0"
 
 
+def connect(model: str = "relational", *, optimizer=None, trace=None):
+    """Convenience re-export of :func:`repro.api.connect`."""
+    from repro.api import connect as _connect
+
+    return _connect(model, optimizer=optimizer, trace=trace)
+
+
 def make_relational_system():
-    """Convenience re-export of
-    :func:`repro.system.make_relational_system`."""
+    """Deprecated convenience re-export; use :func:`repro.api.connect`."""
     from repro.system import make_relational_system as factory
 
     return factory()
 
 
 def make_model_interpreter():
-    """Convenience re-export of
-    :func:`repro.system.make_model_interpreter`."""
+    """Deprecated convenience re-export; use
+    ``repro.api.connect(model="model")``."""
     from repro.system import make_model_interpreter as factory
 
     return factory()
 
 __all__ = [
+    "connect",
     "SOSError",
     "SpecificationError",
     "KindError",

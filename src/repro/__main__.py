@@ -5,13 +5,16 @@ Usage::
     python -m repro                      # interactive REPL (full system)
     python -m repro program.sos          # execute a program file
     python -m repro --model program.sos  # model-level execution, no optimizer
+    python -m repro --trace ...          # per-statement metrics + rule trace
     python -m repro --max-steps N ...    # arm the evaluation step budget
     python -m repro --max-depth N ...    # arm the recursion-depth limit
 
 The REPL accepts the five statement forms; a statement ends at the end of a
 line unless continued by indentation on the following lines (same rule as
 program files).  ``\\q`` quits, ``\\objects`` lists objects, ``\\types``
-lists named types.
+lists named types, ``\\explain Q`` shows the plan for a query and
+``\\explain+ Q`` also executes it, reporting real tuple counts, storage
+accesses and per-phase timings (EXPLAIN ANALYZE).
 
 Statements execute atomically: a failed statement reports its index, phase
 and source snippet, and leaves the database exactly as it was before —
@@ -23,12 +26,37 @@ from __future__ import annotations
 
 import sys
 
+from repro.api import connect
 from repro.core.types import format_type
 from repro.errors import SOSError
-from repro.system import make_model_interpreter, make_relational_system
 
 
-def _print_result(result) -> None:
+def _print_metrics(metrics, timings, indent: str = "   ") -> None:
+    """Render an ExecutionMetrics + timings block (``--trace`` output)."""
+    if timings:
+        parts = ", ".join(
+            f"{k} {v * 1000:.2f}ms"
+            for k, v in timings.items()
+            if k != "total"
+        )
+        print(f"{indent}time:  {timings.get('total', 0) * 1000:.2f}ms ({parts})")
+    if metrics is None:
+        return
+    for op, slot in sorted(metrics.operators.items()):
+        flow = f"out={slot['out']}"
+        if slot["in"]:
+            flow += f" in={slot['in']}"
+        print(f"{indent}op:    {op:<14} {flow}")
+    for name, value in sorted(metrics.counters.items()):
+        print(f"{indent}count: {name:<22} {value}")
+    if metrics.io:
+        print(
+            f"{indent}io:    reads={metrics.io.get('reads', 0)} "
+            f"writes={metrics.io.get('writes', 0)}"
+        )
+
+
+def _print_result(result, trace: bool = False) -> None:
     generated = getattr(result, "generated_statement", lambda: None)()
     if generated:
         print(f"=> {generated}")
@@ -41,6 +69,8 @@ def _print_result(result) -> None:
             print(f"  ({len(rows)} row(s))")
         else:
             print("  ", value)
+    if trace:
+        _print_metrics(result.metrics, result.timings)
 
 
 def _print_error(exc: SOSError, stream) -> None:
@@ -56,8 +86,12 @@ def _print_error(exc: SOSError, stream) -> None:
         print(f"  in: {snippet}", file=stream)
 
 
-def _make_runner(model_only: bool, limits: tuple[int | None, int | None]):
-    runner = make_model_interpreter() if model_only else make_relational_system()
+def _make_runner(
+    model_only: bool,
+    limits: tuple[int | None, int | None],
+    trace: bool = False,
+):
+    runner = connect("model" if model_only else "relational", trace=trace or None)
     max_steps, max_depth = limits
     if max_steps is not None or max_depth is not None:
         runner.database.set_resource_limits(max_steps, max_depth)
@@ -69,8 +103,9 @@ def run_file(
     model_only: bool,
     dump_to: str | None = None,
     limits: tuple[int | None, int | None] = (None, None),
+    trace: bool = False,
 ) -> int:
-    runner = _make_runner(model_only, limits)
+    runner = _make_runner(model_only, limits, trace)
     try:
         with open(path) as f:
             source = f.read()
@@ -79,23 +114,46 @@ def run_file(
         return 2
     try:
         for result in runner.run(source):
-            _print_result(result)
+            _print_result(result, trace=trace)
     except SOSError as exc:
         _print_error(exc, sys.stderr)
         return 1
     if dump_to is not None:
-        from repro.system import dump_program
-
         with open(dump_to, "w") as out:
-            out.write(dump_program(runner.database))
+            out.write(runner.dump())
         print(f"-- state dumped to {dump_to}")
     return 0
 
 
+def _explain(runner, query: str, analyze: bool) -> None:
+    try:
+        info = runner.explain(query, analyze=analyze)
+    except SOSError as exc:
+        print(f"error: {exc}")
+        return
+    print(f"   level: {info['level']}")
+    print(f"   plan:  {info['plan']}")
+    print(f"   rules: {', '.join(info['fired']) or '(none)'}")
+    print(f"   cost:  {info['estimated_cost']:.1f}")
+    if not info["translated"]:
+        print("   (already at the representation level; identity plan)")
+    if analyze:
+        print(f"   rows:  {info['rows']}")
+        from repro.observe import ExecutionMetrics
+
+        metrics = ExecutionMetrics()
+        metrics.operators = info["metrics"]["operators"]
+        metrics.counters = info["metrics"]["counters"]
+        metrics.io = info["metrics"]["io"]
+        _print_metrics(metrics, info["timings"])
+
+
 def repl(
-    model_only: bool, limits: tuple[int | None, int | None] = (None, None)
+    model_only: bool,
+    limits: tuple[int | None, int | None] = (None, None),
+    trace: bool = False,
 ) -> int:
-    runner = _make_runner(model_only, limits)
+    runner = _make_runner(model_only, limits, trace)
     database = runner.database
     print("second-order signature system — \\q to quit")
     buffer: list[str] = []
@@ -108,7 +166,7 @@ def repl(
         buffer.clear()
         try:
             for result in runner.run(pending):
-                _print_result(result)
+                _print_result(result, trace=trace)
         except SOSError as exc:
             _print_error(exc, sys.stdout)
 
@@ -140,15 +198,11 @@ def repl(
 
             print(describe_signature(database.sos))
             continue
-        if line.strip().startswith("\\explain ") and hasattr(runner, "explain"):
-            try:
-                info = runner.explain(line.strip()[len("\\explain ") :])
-                print(f"   level: {info['level']}")
-                print(f"   plan:  {info['plan']}")
-                print(f"   rules: {', '.join(info['fired']) or '(none)'}")
-                print(f"   cost:  {info['estimated_cost']:.1f}")
-            except SOSError as exc:
-                print(f"error: {exc}")
+        if line.strip().startswith("\\explain+ ") and not model_only:
+            _explain(runner, line.strip()[len("\\explain+ ") :], analyze=True)
+            continue
+        if line.strip().startswith("\\explain ") and not model_only:
+            _explain(runner, line.strip()[len("\\explain ") :], analyze=False)
             continue
         # Indented lines continue the buffered statement; an unindented or
         # empty line first executes what is buffered.
@@ -174,6 +228,7 @@ def _take_option(argv: list[str], name: str) -> tuple[str | None, list[str], boo
 
 def main(argv: list[str]) -> int:
     model_only = "--model" in argv
+    trace = "--trace" in argv
     dump_to, argv, ok = _take_option(argv, "--dump")
     if not ok:
         return 2
@@ -190,8 +245,10 @@ def main(argv: list[str]) -> int:
     max_steps, max_depth = limits
     files = [a for a in argv if not a.startswith("-")]
     if files:
-        return run_file(files[0], model_only, dump_to, (max_steps, max_depth))
-    return repl(model_only, (max_steps, max_depth))
+        return run_file(
+            files[0], model_only, dump_to, (max_steps, max_depth), trace
+        )
+    return repl(model_only, (max_steps, max_depth), trace)
 
 
 if __name__ == "__main__":

@@ -1,0 +1,205 @@
+"""The public entry point: ``repro.api.connect``.
+
+Everything user-facing goes through one call::
+
+    from repro.api import connect
+
+    db = connect()                      # full relational stack + optimizer
+    db.run("create cities : rel(city)")
+    result = db.query("cities select[pop > 100000]")
+    print(result.value, result.timings)
+
+    traced = connect(trace=True)        # operator metrics on every result
+    plan = traced.explain("cities select[pop > 100000]", analyze=True)
+
+``connect(model="model")`` gives a plain model-level interpreter (no
+optimizing translation — Section 2.4 semantics); everything else is the
+mixed-program system of Section 6.  Both hand back a :class:`Session`
+whose ``run`` / ``run_one`` / ``query`` all speak the same result shape,
+:class:`~repro.system.sos_system.SystemResult`.
+
+The old ``make_relational_system`` / ``make_model_interpreter`` /
+``make_relational_database`` factories still work but emit a
+``DeprecationWarning`` (once per process) pointing here.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.errors import CatalogError
+from repro.observe import Event, Tracer
+from repro.optimizer import Optimizer
+from repro.system.dump import dump_program, restore_program
+from repro.system.sos_system import (
+    SOSSystem,
+    SystemResult,
+    build_model_interpreter,
+    build_relational_system,
+)
+
+__all__ = ["connect", "Session"]
+
+
+def connect(
+    model: str = "relational",
+    *,
+    optimizer: Optional[Optimizer] = None,
+    trace: object = None,
+) -> "Session":
+    """Open a session over a freshly built database.
+
+    ``model``
+        ``"relational"`` (default) — the full stack with the rule-based
+        optimizer translating model-level statements to representation
+        plans; ``"model"`` — a plain interpreter executing model-level
+        statements directly, no translation.
+    ``optimizer``
+        a custom :class:`~repro.optimizer.Optimizer` (relational model
+        only; the standard rule set otherwise).
+    ``trace``
+        ``True`` enables metric collection (every result carries
+        ``metrics`` and ``rule_trace``); a callable additionally
+        subscribes to the session's event bus; a
+        :class:`~repro.observe.Tracer` is used as the bus itself.
+        ``None``/``False`` leaves observability off (the default).
+    """
+    if model not in ("relational", "model"):
+        raise CatalogError(f"unknown data model: {model!r}")
+    tracer = trace if isinstance(trace, Tracer) else None
+    if model == "model":
+        if optimizer is not None:
+            raise CatalogError("the model-level interpreter takes no optimizer")
+        session = Session(_interpreter=build_model_interpreter(), _tracer=tracer)
+    else:
+        session = Session(
+            _system=build_relational_system(optimizer, tracer=tracer)
+        )
+    if callable(trace) and not isinstance(trace, Tracer):
+        session.tracer.subscribe(trace)
+    if trace:
+        session.set_tracing(True)
+    return session
+
+
+class Session:
+    """A connection-like handle over one database.
+
+    ``run`` / ``run_one`` / ``query`` all return
+    :class:`~repro.system.sos_system.SystemResult` (``run`` a list of
+    them), whatever the underlying model — the single result shape of the
+    API.  ``explain`` / ``dump`` / ``restore`` round out the surface; the
+    underlying machinery stays reachable via ``session.system``,
+    ``session.database`` and ``session.tracer``.
+    """
+
+    __slots__ = ("_system", "_interpreter", "_tracer")
+
+    def __init__(self, *, _system=None, _interpreter=None, _tracer=None):
+        self._system: Optional[SOSSystem] = _system
+        self._interpreter = _interpreter
+        self._tracer = (
+            _system.tracer
+            if _system is not None
+            else (_tracer if _tracer is not None else Tracer())
+        )
+
+    # ----------------------------------------------------------- properties
+
+    @property
+    def system(self) -> SOSSystem:
+        """The underlying :class:`SOSSystem` (relational sessions only)."""
+        if self._system is None:
+            raise CatalogError("a model-level session has no optimizer system")
+        return self._system
+
+    @property
+    def interpreter(self):
+        """The underlying interpreter (statement front end)."""
+        if self._system is not None:
+            return self._system.interpreter
+        return self._interpreter
+
+    @property
+    def database(self):
+        if self._system is not None:
+            return self._system.database
+        return self._interpreter.database
+
+    @property
+    def tracer(self) -> Tracer:
+        """The session's event bus; subscribe callables to receive
+        :class:`~repro.observe.Event` objects."""
+        return self._tracer
+
+    # -------------------------------------------------------- observability
+
+    def set_tracing(self, enabled: bool = True) -> None:
+        """Toggle per-statement metric collection for this session."""
+        if self._system is not None:
+            self._system.set_tracing(enabled)
+
+    @property
+    def tracing(self) -> bool:
+        return self._system.tracing if self._system is not None else False
+
+    def subscribe(self, fn: Callable[[Event], None]) -> Callable[[Event], None]:
+        """Shorthand for ``session.tracer.subscribe(fn)``."""
+        return self._tracer.subscribe(fn)
+
+    # ------------------------------------------------------------ execution
+
+    def run(self, source: str, atomic: bool = False) -> list[SystemResult]:
+        """Process a program; one :class:`SystemResult` per statement."""
+        if self._system is not None:
+            return self._system.run(source, atomic=atomic)
+        return [self._lift(r) for r in self._interpreter.run(source)]
+
+    def run_one(self, source: str) -> SystemResult:
+        """Process exactly one statement."""
+        if self._system is not None:
+            return self._system.run_one(source)
+        return self._lift(self._interpreter.run_one(source))
+
+    def query(self, source: str) -> SystemResult:
+        """Run one query expression; the answer is ``result.value``."""
+        if self._system is not None:
+            return self._system.query(source)
+        return self._lift(self._interpreter.run_one("query " + source))
+
+    def explain(self, source: str, *, analyze: bool = False) -> dict:
+        """The plan report for a query; see :meth:`SOSSystem.explain`."""
+        return self.system.explain(source, analyze=analyze)
+
+    # ---------------------------------------------------------- persistence
+
+    def dump(self) -> str:
+        """The database as a re-runnable program text."""
+        return dump_program(self.database)
+
+    def restore(self, text: str) -> None:
+        """Replay a dumped program into this session."""
+        restore_program(
+            self._system if self._system is not None else self._interpreter,
+            text,
+        )
+
+    # ------------------------------------------------------------- internal
+
+    @staticmethod
+    def _lift(result) -> SystemResult:
+        """Adapt an interpreter StatementResult to the unified shape."""
+        if isinstance(result, SystemResult):
+            return result
+        return SystemResult(
+            kind=result.kind,
+            level="model",
+            name=result.name,
+            type=result.type,
+            value=result.value,
+            term=result.term,
+        )
+
+    def __repr__(self) -> str:
+        kind = "relational" if self._system is not None else "model"
+        return f"<Session model={kind} objects={len(self.database.objects)}>"

@@ -44,6 +44,7 @@ from repro.core.types import (
 )
 from repro.errors import ExecutionError, ResourceLimitError, UpdateError
 from repro.testing.faults import fault_point
+from repro import observe
 
 
 class TupleValue:
@@ -390,7 +391,18 @@ class Evaluator:
                 a.materialize() if isinstance(a, Stream) else a for a in args
             ]
         ctx = OpContext(self, self.algebra, resolved, term)
-        return impl(ctx, *args)
+        result = impl(ctx, *args)
+        if observe.ENABLED and isinstance(result, Stream):
+            # Operator-level tuple accounting: the stream an operator
+            # returns is wrapped so every tuple it produces is counted
+            # under the operator's name (zero-overhead when collection is
+            # off — the guard above is a module-attribute load).
+            sink = observe.active()
+            if sink is not None:
+                result = Stream(
+                    result.tuple_type, sink.count_out(term.op, iter(result))
+                )
+        return result
 
     def _op_value(self, term: OpRef):
         """An operator used as a function value.

@@ -72,6 +72,12 @@ def _format_apply(term: Apply, sos) -> str:
         if len(term.args) == 1:
             return f"({_operand(term.args[0], sos)} {term.op})"
     if syntax is None:
+        if not term.args and sos.is_operator(term.op):
+            # Nullary operators (the polymorphic constants ``bottom`` /
+            # ``top``) print as a bare name: ``top()`` does not re-parse —
+            # the typechecker resolves the constant from the expected
+            # argument type, which only bare identifiers get.
+            return term.op
         args = ", ".join(_format(a, sos) for a in term.args)
         return f"{term.op}({args})"
     pre = [_operand(a, sos) for a in term.args[: syntax.pre]]

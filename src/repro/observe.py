@@ -1,0 +1,296 @@
+"""Structured execution observability: events, spans, and metrics.
+
+Three cooperating pieces, all optional and all zero-overhead when off:
+
+:class:`Tracer`
+    a lightweight structured event bus.  Producers call :meth:`Tracer.emit`
+    / :meth:`Tracer.span`; when nobody subscribed, both are a length check
+    and an early return.  Subscriber exceptions are swallowed — a broken
+    listener must never kill query execution.
+
+:class:`ExecutionMetrics`
+    per-statement counters: tuples produced/consumed per algebra operator,
+    storage node/page accesses, TID fetches, plus the simulated-I/O delta.
+    Collection is armed with :func:`collecting`; instrumented code guards
+    each counter behind the module-level :data:`ENABLED` flag (same pattern
+    as :func:`repro.testing.faults.fault_point` — a single global load and
+    an early return when disabled).
+
+:class:`RuleTrace`
+    the optimizer's decision log: every fired rewrite with the term before
+    and after, and per-rule attempt counts broken down by outcome
+    (``no_match`` / ``conditions_failed`` / ``typecheck_failed`` /
+    ``fired``) — the Gral-style rule trace [BeG92] that rule sets are
+    debugged with.
+
+The system front end (:mod:`repro.system`) wires these into every
+statement; :func:`repro.api.connect` exposes them as the ``trace`` option
+and ``explain(..., analyze=True)``.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Callable, Iterator, Optional
+
+ENABLED = False
+"""True while an :class:`ExecutionMetrics` is armed (fast-path guard)."""
+
+_ACTIVE: Optional["ExecutionMetrics"] = None
+
+
+# ---------------------------------------------------------------------------
+# Event bus
+# ---------------------------------------------------------------------------
+
+
+@dataclass(slots=True)
+class Event:
+    """One structured trace event.
+
+    ``kind`` is ``begin`` / ``end`` for spans (``value`` of an ``end`` event
+    is the span duration in seconds) or ``counter`` for point events.
+    ``depth`` is the span-nesting depth at emission time.
+    """
+
+    name: str
+    kind: str = "counter"
+    value: float = 0.0
+    data: dict = field(default_factory=dict)
+    depth: int = 0
+
+
+class Tracer:
+    """A subscribable event bus with span support.
+
+    ``emit``/``span`` cost a subscriber-list check when nobody listens, so a
+    tracer can stay permanently attached to a system.  Subscribers are
+    callables of one :class:`Event` argument; exceptions they raise are
+    caught and counted, never propagated.
+    """
+
+    __slots__ = ("_subscribers", "_depth", "subscriber_errors")
+
+    def __init__(self) -> None:
+        self._subscribers: list[Callable[[Event], None]] = []
+        self._depth = 0
+        self.subscriber_errors = 0
+
+    @property
+    def enabled(self) -> bool:
+        return bool(self._subscribers)
+
+    def subscribe(self, fn: Callable[[Event], None]) -> Callable[[Event], None]:
+        """Register a subscriber; returns it (usable as a decorator)."""
+        self._subscribers.append(fn)
+        return fn
+
+    def unsubscribe(self, fn: Callable[[Event], None]) -> None:
+        if fn in self._subscribers:
+            self._subscribers.remove(fn)
+
+    def emit(
+        self, name: str, kind: str = "counter", value: float = 0.0, **data
+    ) -> None:
+        if not self._subscribers:
+            return
+        event = Event(name, kind, value, data, self._depth)
+        for fn in tuple(self._subscribers):
+            try:
+                fn(event)
+            except Exception:
+                self.subscriber_errors += 1
+
+    @contextmanager
+    def span(self, name: str, **data) -> Iterator[None]:
+        """Emit ``begin``/``end`` events around a block; the ``end`` event
+        carries the wall-clock duration."""
+        if not self._subscribers:
+            yield
+            return
+        self.emit(name, "begin", **data)
+        self._depth += 1
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            self._depth -= 1
+            self.emit(name, "end", value=time.perf_counter() - start, **data)
+
+
+# ---------------------------------------------------------------------------
+# Metrics
+# ---------------------------------------------------------------------------
+
+
+class ExecutionMetrics:
+    """Counters collected over one statement (or any :func:`collecting`
+    scope).
+
+    ``operators`` maps an algebra operator name to its tuple flow:
+    ``out`` tuples it produced, ``in`` tuples explicitly consumed (only
+    operators with interesting input-side behavior report ``in``; for a
+    pipeline, the consumption of an operator equals the production of its
+    input).  ``counters`` holds storage-level counts
+    (``btree.node_reads``, ``lsdtree.node_reads``, ``tidrel.fetches``, ...)
+    and stream-internal ones (``hash_join.build_rows``, ``sort.rows``,
+    ``search_join.probes``).  ``io`` is the simulated page-I/O delta of the
+    statement, filled in by the system front end.
+    """
+
+    __slots__ = ("operators", "counters", "io")
+
+    def __init__(self) -> None:
+        self.operators: dict[str, dict[str, int]] = {}
+        self.counters: dict[str, int] = {}
+        self.io: dict[str, int] = {}
+
+    # ---- hot-path recording (only reached while ENABLED)
+
+    def op_slot(self, op: str) -> dict[str, int]:
+        slot = self.operators.get(op)
+        if slot is None:
+            slot = self.operators[op] = {"in": 0, "out": 0}
+        return slot
+
+    def count_out(self, op: str, iterator) -> Iterator:
+        """Wrap an operator's output iterator, counting produced tuples."""
+        slot = self.op_slot(op)
+        for item in iterator:
+            slot["out"] += 1
+            yield item
+
+    def count_in(self, op: str, iterator) -> Iterator:
+        """Wrap an operator's input iterator, counting consumed tuples."""
+        slot = self.op_slot(op)
+        for item in iterator:
+            slot["in"] += 1
+            yield item
+
+    def incr(self, name: str, value: int = 1) -> None:
+        self.counters[name] = self.counters.get(name, 0) + value
+
+    # ---- reporting
+
+    def tuples_out(self, op: str) -> int:
+        slot = self.operators.get(op)
+        return slot["out"] if slot else 0
+
+    def as_dict(self) -> dict:
+        return {
+            "operators": {op: dict(slot) for op, slot in self.operators.items()},
+            "counters": dict(self.counters),
+            "io": dict(self.io),
+        }
+
+    def __repr__(self) -> str:
+        ops = ", ".join(
+            f"{op}:{slot['out']}" for op, slot in sorted(self.operators.items())
+        )
+        return f"<ExecutionMetrics ops=[{ops}] counters={self.counters}>"
+
+
+def active() -> Optional[ExecutionMetrics]:
+    """The armed metrics sink, or None when collection is off."""
+    return _ACTIVE
+
+
+def incr(name: str, value: int = 1) -> None:
+    """Bump a named counter on the active sink (no-op when disarmed).
+
+    Hot call sites should guard with ``if observe.ENABLED:`` first so the
+    disabled path is a module-attribute load, not a function call.
+    """
+    sink = _ACTIVE
+    if sink is not None:
+        sink.counters[name] = sink.counters.get(name, 0) + value
+
+
+@contextmanager
+def collecting(metrics: Optional[ExecutionMetrics] = None) -> Iterator[ExecutionMetrics]:
+    """Arm ``metrics`` (a fresh sink by default) as the active collector.
+
+    Nests: the previous sink is restored on exit, so a traced statement that
+    internally runs another statement keeps its own counters.
+    """
+    global _ACTIVE, ENABLED
+    sink = metrics if metrics is not None else ExecutionMetrics()
+    previous = _ACTIVE
+    _ACTIVE = sink
+    ENABLED = True
+    try:
+        yield sink
+    finally:
+        _ACTIVE = previous
+        ENABLED = previous is not None
+
+
+# ---------------------------------------------------------------------------
+# Optimizer rule trace
+# ---------------------------------------------------------------------------
+
+
+@dataclass(slots=True)
+class FiredRule:
+    """One accepted rewrite: the rule plus the term before and after (in
+    abstract syntax), and which optimizer step it fired in."""
+
+    rule: str
+    step: str
+    before: str
+    after: str
+
+    def as_dict(self) -> dict:
+        return {
+            "rule": self.rule,
+            "step": self.step,
+            "before": self.before,
+            "after": self.after,
+        }
+
+
+class RuleTrace:
+    """The optimizer's decision log for one optimization run.
+
+    ``fired`` lists accepted rewrites in order; ``attempts`` maps each rule
+    name to outcome counts over every place it was tried:
+
+    ``no_match``
+        the left-hand-side pattern did not match the node;
+    ``conditions_failed``
+        the pattern matched but no condition solution exists (the catalog
+        lookup or type test came back empty);
+    ``typecheck_failed``
+        conditions held but every instantiated right-hand side failed the
+        re-typecheck;
+    ``fired``
+        the rewrite was accepted.
+    """
+
+    __slots__ = ("fired", "attempts")
+
+    def __init__(self) -> None:
+        self.fired: list[FiredRule] = []
+        self.attempts: dict[str, dict[str, int]] = {}
+
+    def record_attempt(self, rule: str, outcome: str) -> None:
+        per_rule = self.attempts.get(rule)
+        if per_rule is None:
+            per_rule = self.attempts[rule] = {}
+        per_rule[outcome] = per_rule.get(outcome, 0) + 1
+
+    def record_fired(self, rule: str, step: str, before: str, after: str) -> None:
+        self.fired.append(FiredRule(rule, step, before, after))
+        self.record_attempt(rule, "fired")
+
+    def as_dict(self) -> dict:
+        return {
+            "fired": [f.as_dict() for f in self.fired],
+            "attempts": {r: dict(o) for r, o in self.attempts.items()},
+        }
+
+    def __repr__(self) -> str:
+        names = ", ".join(f.rule for f in self.fired) or "(none)"
+        return f"<RuleTrace fired=[{names}]>"

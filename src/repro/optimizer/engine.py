@@ -13,6 +13,11 @@ collection and a control strategy:
 Every candidate rewrite is re-typechecked before acceptance; a rewrite whose
 instance does not typecheck is discarded (the rule simply does not apply
 there), which keeps unsound rules from corrupting plans.
+
+Passing a :class:`~repro.observe.RuleTrace` to :meth:`Optimizer.optimize`
+records the full decision log — every fired rewrite with the term before
+and after, and per-rule attempt outcomes — at formatting cost only paid
+when a trace is requested.
 """
 
 from __future__ import annotations
@@ -20,8 +25,9 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Optional, Sequence
 
-from repro.core.terms import Apply, Call, Fun, ListTerm, Term, TupleTerm
+from repro.core.terms import Apply, Call, Fun, ListTerm, Term, TupleTerm, format_term
 from repro.errors import OptimizationError, TypeCheckError
+from repro.observe import RuleTrace
 from repro.optimizer.rules import RewriteRule
 from repro.testing.faults import fault_point
 
@@ -44,6 +50,7 @@ class OptimizationResult:
     term: Term
     fired: list[str] = field(default_factory=list)
     tried: int = 0
+    trace: Optional[RuleTrace] = None
 
     @property
     def changed(self) -> bool:
@@ -56,15 +63,19 @@ class Optimizer:
     def __init__(self, steps: Sequence[OptimizerStep]):
         self.steps = list(steps)
 
-    def optimize(self, term: Term, db) -> OptimizationResult:
+    def optimize(
+        self, term: Term, db, trace: Optional[RuleTrace] = None
+    ) -> OptimizationResult:
         """Rewrite ``term`` (already typechecked against ``db``).
 
-        Returns the rewritten, re-typechecked term plus statistics.
+        Returns the rewritten, re-typechecked term plus statistics.  With a
+        ``trace``, every rule attempt and fired rewrite is recorded on it
+        (and on ``result.trace``).
         """
-        result = OptimizationResult(term)
+        result = OptimizationResult(term, trace=trace)
         try:
             for step in self.steps:
-                result.term = self._run_step(step, result.term, db, result)
+                result.term = self._run_step(step, result.term, db, result, trace)
         except RecursionError:
             raise OptimizationError(
                 "optimization exceeded the recursion limit — a rule set is "
@@ -74,12 +85,11 @@ class Optimizer:
 
     # ------------------------------------------------------------ strategies
 
-    def _run_step(self, step: OptimizerStep, term: Term, db, stats) -> Term:
+    def _run_step(self, step: OptimizerStep, term: Term, db, stats, trace) -> Term:
         if step.strategy == "exhaustive":
             for _ in range(MAX_REWRITES):
                 new_term, fired = self._rewrite_once(
-                    step.rules, term, db, stats, topdown=True,
-                    cost_based=step.cost_based,
+                    step, term, db, stats, topdown=True, trace=trace
                 )
                 if not fired:
                     return new_term
@@ -90,73 +100,69 @@ class Optimizer:
             )
         if step.strategy == "once_topdown":
             new_term, _ = self._rewrite_once(
-                step.rules, term, db, stats, topdown=True,
-                cost_based=step.cost_based,
+                step, term, db, stats, topdown=True, trace=trace
             )
             return new_term
         if step.strategy == "once_bottomup":
             new_term, _ = self._rewrite_once(
-                step.rules, term, db, stats, topdown=False,
-                cost_based=step.cost_based,
+                step, term, db, stats, topdown=False, trace=trace
             )
             return new_term
         raise OptimizationError(f"unknown strategy: {step.strategy}")
 
     def _rewrite_once(
         self,
-        rules: Sequence[RewriteRule],
+        step: OptimizerStep,
         term: Term,
         db,
         stats,
         topdown: bool,
-        cost_based: bool = False,
+        trace: Optional[RuleTrace] = None,
     ) -> tuple[Term, bool]:
         """One traversal; returns (new term, any rule fired)."""
         if topdown:
-            new_term = self._try_rules(rules, term, db, stats, cost_based)
+            new_term = self._try_rules(step, term, db, stats, trace)
             if new_term is not None:
                 return new_term, True
-        rebuilt, changed = self._rewrite_children(
-            rules, term, db, stats, topdown, cost_based
-        )
+        rebuilt, changed = self._rewrite_children(step, term, db, stats, topdown, trace)
         if changed:
             return rebuilt, True
         if not topdown:
-            new_term = self._try_rules(rules, rebuilt, db, stats, cost_based)
+            new_term = self._try_rules(step, rebuilt, db, stats, trace)
             if new_term is not None:
                 return new_term, True
         return rebuilt, False
 
     def _rewrite_children(
-        self, rules, term: Term, db, stats, topdown: bool, cost_based: bool = False
+        self, step: OptimizerStep, term: Term, db, stats, topdown: bool, trace
     ) -> tuple[Term, bool]:
         if isinstance(term, Apply):
             for i, arg in enumerate(term.args):
-                new_arg, changed = self._rewrite_once(rules, arg, db, stats, topdown, cost_based)
+                new_arg, changed = self._rewrite_once(step, arg, db, stats, topdown, trace)
                 if changed:
                     term.args = term.args[:i] + (new_arg,) + term.args[i + 1 :]
                     return term, True
             return term, False
         if isinstance(term, Fun):
-            new_body, changed = self._rewrite_once(rules, term.body, db, stats, topdown, cost_based)
+            new_body, changed = self._rewrite_once(step, term.body, db, stats, topdown, trace)
             if changed:
                 term.body = new_body
                 return term, True
             return term, False
         if isinstance(term, (ListTerm, TupleTerm)):
             for i, item in enumerate(term.items):
-                new_item, changed = self._rewrite_once(rules, item, db, stats, topdown, cost_based)
+                new_item, changed = self._rewrite_once(step, item, db, stats, topdown, trace)
                 if changed:
                     term.items = term.items[:i] + (new_item,) + term.items[i + 1 :]
                     return term, True
             return term, False
         if isinstance(term, Call):
-            new_fn, changed = self._rewrite_once(rules, term.fn, db, stats, topdown, cost_based)
+            new_fn, changed = self._rewrite_once(step, term.fn, db, stats, topdown, trace)
             if changed:
                 term.fn = new_fn
                 return term, True
             for i, arg in enumerate(term.args):
-                new_arg, changed = self._rewrite_once(rules, arg, db, stats, topdown, cost_based)
+                new_arg, changed = self._rewrite_once(step, arg, db, stats, topdown, trace)
                 if changed:
                     term.args = term.args[:i] + (new_arg,) + term.args[i + 1 :]
                     return term, True
@@ -164,19 +170,29 @@ class Optimizer:
         return term, False
 
     def _try_rules(
-        self, rules, term: Term, db, stats, cost_based: bool = False
+        self, step: OptimizerStep, term: Term, db, stats, trace: Optional[RuleTrace]
     ) -> Optional[Term]:
-        if not cost_based:
-            for rule in rules:
+        if not step.cost_based:
+            for rule in step.rules:
                 stats.tried += 1
-                for candidate in rule.apply_at(term, db):
+                outcome = None if trace is None else [None]
+                for candidate in rule.apply_at(term, db, outcome):
                     try:
                         checked = db.typechecker.check(candidate)
                     except TypeCheckError:
+                        if outcome is not None:
+                            outcome[0] = "typecheck_failed"
                         continue
                     fault_point("optimizer.rule")
                     stats.fired.append(rule.name)
+                    if trace is not None:
+                        trace.record_fired(
+                            rule.name, step.name,
+                            format_term(term), format_term(checked),
+                        )
                     return checked
+                if trace is not None:
+                    trace.record_attempt(rule.name, outcome[0] or "no_match")
             return None
         # Cost-based choice: generate every applicable rewrite and keep the
         # cheapest plan under the structural cost model.
@@ -185,18 +201,38 @@ class Optimizer:
         best = None
         best_cost = None
         best_rule = None
-        for rule in rules:
+        before = format_term(term) if trace is not None else ""
+        applicable: list[str] = []
+        for rule in step.rules:
             stats.tried += 1
-            for candidate in rule.apply_at(term, db):
+            outcome = None if trace is None else [None]
+            applied = False
+            for candidate in rule.apply_at(term, db, outcome):
                 try:
                     checked = db.typechecker.check(candidate)
                 except TypeCheckError:
+                    if outcome is not None:
+                        outcome[0] = "typecheck_failed"
                     continue
+                applied = True
                 cost = estimate(checked, db)
                 if best_cost is None or cost < best_cost:
                     best, best_cost, best_rule = checked, cost, rule
+            if trace is not None:
+                if applied:
+                    applicable.append(rule.name)
+                else:
+                    trace.record_attempt(rule.name, outcome[0] or "no_match")
+        if trace is not None and best_rule is not None:
+            for name in applicable:
+                if name != best_rule.name:
+                    trace.record_attempt(name, "cost_rejected")
         if best is not None:
             fault_point("optimizer.rule")
             stats.fired.append(best_rule.name)
+            if trace is not None:
+                trace.record_fired(
+                    best_rule.name, step.name, before, format_term(best)
+                )
             return best
         return None

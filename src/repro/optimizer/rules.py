@@ -32,11 +32,22 @@ class RewriteRule:
     conditions: Sequence[Condition] = field(default_factory=tuple)
     doc: str = ""
 
-    def apply_at(self, subject: Term, db) -> Iterator[Term]:
+    def apply_at(self, subject: Term, db, outcome: list | None = None) -> Iterator[Term]:
+        """``outcome``, when given, is a single-element list the rule writes
+        its condition-evaluation result into: ``no_match`` (pattern failed),
+        ``conditions_failed`` (pattern matched, no condition solution) or
+        ``conditions_ok`` — the engine refines the last one into
+        ``typecheck_failed`` / ``fired``."""
         state = match_pattern(self.lhs, subject, self.variables, MatchState(), db.sos)
         if state is None:
+            if outcome is not None:
+                outcome[0] = "no_match"
             return
+        if outcome is not None:
+            outcome[0] = "conditions_failed"
         for solved in solve_conditions(tuple(self.conditions), state, db):
+            if outcome is not None:
+                outcome[0] = "conditions_ok"
             yield instantiate(self.rhs, solved)
 
     def __str__(self) -> str:

@@ -13,6 +13,7 @@ from typing import Callable, Iterable
 
 from repro.core.algebra import Stream, TupleValue
 from repro.core.types import Type
+from repro import observe
 
 
 def feed(tuple_type: Type, source: Iterable) -> Stream:
@@ -23,6 +24,11 @@ def feed(tuple_type: Type, source: Iterable) -> Stream:
 
 def filter_stream(stream: Stream, predicate: Callable) -> Stream:
     """Keep the tuples satisfying the predicate."""
+    if observe.ENABLED and (sink := observe.active()) is not None:
+        # Count the input side too: filter is the one pipeline operator
+        # whose in/out ratio (the observed selectivity) matters on its own.
+        source = sink.count_in("filter", iter(stream))
+        return Stream(stream.tuple_type, (t for t in source if predicate(t)))
     return Stream(stream.tuple_type, (t for t in stream if predicate(t)))
 
 
@@ -63,7 +69,10 @@ def concat_streams(tuple_type: Type, streams: list[Stream]) -> Stream:
 
 def sort_stream(stream: Stream, key: Callable) -> Stream:
     """Sort (materializes internally — a pipeline breaker)."""
-    return Stream(stream.tuple_type, iter(sorted(stream, key=key)))
+    rows = sorted(stream, key=key)
+    if observe.ENABLED:
+        observe.incr("sort.rows", len(rows))
+    return Stream(stream.tuple_type, iter(rows))
 
 
 def rdup_stream(stream: Stream) -> Stream:
@@ -92,8 +101,12 @@ def hash_join_stream(
 
     def gen():
         table: dict = {}
+        rows = 0
         for r in right:
             table.setdefault(right_key(r), []).append(r)
+            rows += 1
+        if observe.ENABLED:
+            observe.incr("hash_join.build_rows", rows)
         for l in left:
             for r in table.get(left_key(l), ()):
                 yield l.concat(r, out_tuple)
@@ -114,6 +127,8 @@ def merge_join_stream(
     def gen():
         lrows = sorted(left, key=left_key)
         rrows = sorted(right, key=right_key)
+        if observe.ENABLED:
+            observe.incr("merge_join.sorted_rows", len(lrows) + len(rrows))
         i = j = 0
         while i < len(lrows) and j < len(rrows):
             lk = left_key(lrows[i])
@@ -147,6 +162,10 @@ def search_join_stream(out_tuple: Type, outer: Stream, inner_fn: Callable) -> St
 
     def gen():
         for t1 in outer:
+            if observe.ENABLED:
+                # One probe per outer tuple: how often the inner search
+                # method (scan, filter, or index probe) was invoked.
+                observe.incr("search_join.probes")
             for t2 in inner_fn(t1):
                 yield t1.concat(t2, out_tuple)
 

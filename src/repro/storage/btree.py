@@ -26,6 +26,7 @@ from typing import Callable, Iterable, Iterator, Optional
 from repro.errors import StorageError
 from repro.storage.io import GLOBAL_PAGES, PageManager
 from repro.testing.faults import fault_point
+from repro import observe
 
 
 class _Sentinel:
@@ -93,6 +94,13 @@ class BTree:
         self._root = _Node(leaf=True, page_id=self.pages.allocate())
         self._count = 0
 
+    def _read_node(self, node: _Node) -> None:
+        """Account one node access on a search path (page read plus, when
+        metric collection is armed, the per-structure counter)."""
+        self.pages.read(node.page_id)
+        if observe.ENABLED:
+            observe.incr(f"{self.name}.node_reads")
+
     # ------------------------------------------------------------ queries
 
     def __len__(self) -> int:
@@ -111,7 +119,7 @@ class BTree:
         """All tuples in key order (leaf chain scan) — the ``feed`` path."""
         node = self._leftmost_leaf()
         while node is not None:
-            self.pages.read(node.page_id)
+            self._read_node(node)
             yield from node.values
             node = node.next
 
@@ -126,7 +134,7 @@ class BTree:
         else:
             node, index = self._find_leaf(low)
         while node is not None:
-            self.pages.read(node.page_id)
+            self._read_node(node)
             while index < len(node.keys):
                 key = node.keys[index]
                 if high is not TOP_KEY and key > high:
@@ -155,7 +163,7 @@ class BTree:
             return
         node, index = self._find_leaf(_PrefixBound(prefix))
         while node is not None:
-            self.pages.read(node.page_id)
+            self._read_node(node)
             while index < len(node.keys):
                 key = node.keys[index]
                 head = key[:k] if isinstance(key, tuple) else (key,)[:k]
@@ -168,20 +176,20 @@ class BTree:
 
     def _leftmost_leaf(self) -> _Node:
         node = self._root
-        self.pages.read(node.page_id)
+        self._read_node(node)
         while not node.leaf:
             node = node.children[0]
-            self.pages.read(node.page_id)
+            self._read_node(node)
         return node
 
     def _find_leaf(self, key) -> tuple[_Node, int]:
         """The first leaf position with stored key >= ``key``."""
         node = self._root
-        self.pages.read(node.page_id)
+        self._read_node(node)
         while not node.leaf:
             index = bisect_left(node.keys, key)
             node = node.children[index]
-            self.pages.read(node.page_id)
+            self._read_node(node)
         return node, bisect_left(node.keys, key)
 
     # ----------------------------------------------------------- snapshots

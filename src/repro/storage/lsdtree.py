@@ -29,6 +29,7 @@ from repro.errors import StorageError
 from repro.geometry import Point, Rect
 from repro.storage.io import GLOBAL_PAGES, PageManager
 from repro.testing.faults import fault_point
+from repro import observe
 
 _DIMS = 4
 _NEG_INF = -math.inf
@@ -163,6 +164,8 @@ class LSDTree:
     def _entries(self, node) -> Iterator:
         if isinstance(node, _Bucket):
             self.pages.read(node.page_id)
+            if observe.ENABLED:
+                observe.incr(f"{self.name}.node_reads")
             yield from node.entries
             return
         yield from self._entries(node.left)
@@ -188,6 +191,8 @@ class LSDTree:
             node = stack.pop()
             if isinstance(node, _Bucket):
                 self.pages.read(node.page_id)
+                if observe.ENABLED:
+                    observe.incr(f"{self.name}.node_reads")
                 for point, _rect, value in node.entries:
                     if all(low[d] <= point[d] <= high[d] for d in range(_DIMS)):
                         yield value

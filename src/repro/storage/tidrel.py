@@ -15,6 +15,7 @@ from repro.errors import StorageError
 from repro.storage.btree import BTree
 from repro.storage.io import GLOBAL_PAGES, PageManager
 from repro.testing.faults import fault_point
+from repro import observe
 
 
 class TidRelation:
@@ -67,6 +68,8 @@ class TidRelation:
         if value is None:
             raise StorageError(f"TID {tid} was deleted")
         self.pages.read(page_id)
+        if observe.ENABLED:
+            observe.incr(f"{self.name}.fetches")
         return value
 
     def delete(self, tid: tuple[int, int]) -> None:
@@ -100,6 +103,8 @@ class TidRelation:
         """All live tuples (page order) — the ``feed`` path."""
         for page_id, content in self._pages:
             self.pages.read(page_id)
+            if observe.ENABLED:
+                observe.incr(f"{self.name}.page_reads")
             yield from (value for value in content if value is not None)
 
     def scan_with_tids(self) -> Iterator[tuple[tuple[int, int], object]]:

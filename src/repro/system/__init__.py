@@ -5,15 +5,20 @@ model, representation and hybrid statements, classifies them, translates
 model-level updates and queries to the representation level through the
 rule-based optimizer, and executes the result.
 
-:func:`make_relational_system` assembles the complete relational stack —
+:func:`build_relational_system` assembles the complete relational stack —
 base + relational model + representation model + catalog — with the
-standard rule set; it is the one-call entry point used by the examples.
+standard rule set.  The public entry point is :func:`repro.api.connect`,
+which wraps it in a :class:`~repro.api.Session`; the old
+``make_relational_system`` & friends remain as deprecated shims.
 """
 
 from repro.system.dump import dump_program, restore_program
 from repro.system.sos_system import (
     SOSSystem,
     SystemResult,
+    build_model_interpreter,
+    build_relational_database,
+    build_relational_system,
     make_model_interpreter,
     make_relational_database,
     make_relational_system,
@@ -30,6 +35,9 @@ __all__ = [
     "SystemResult",
     "Savepoint",
     "Transaction",
+    "build_model_interpreter",
+    "build_relational_database",
+    "build_relational_system",
     "make_model_interpreter",
     "make_relational_database",
     "make_relational_system",

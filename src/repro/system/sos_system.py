@@ -14,13 +14,25 @@ Processing of mixed programs follows the paper:
 The translated statements are recorded on the :class:`SystemResult` (the
 paper's ``=>``-prefixed generated statements), so a session transcript can
 be compared against Section 6 line by line.
+
+Observability (see :mod:`repro.observe` and ``docs/OBSERVABILITY.md``):
+every :class:`SystemResult` carries per-phase wall-clock ``timings``
+(parse / typecheck / optimize / execute); with tracing enabled
+(:meth:`SOSSystem.set_tracing` or ``repro.api.connect(trace=True)``) it
+also carries an :class:`~repro.observe.ExecutionMetrics` (per-operator
+tuple counts, storage access counters, the simulated-I/O delta) and a
+:class:`~repro.observe.RuleTrace` of the optimizer's decisions.
 """
 
 from __future__ import annotations
 
+import time
+import warnings
+from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Iterator, Optional
 
+from repro import observe
 from repro.catalog import (
     Database,
     add_catalog_level,
@@ -50,8 +62,10 @@ from repro.lang.parser import (
 )
 from repro.models.base import add_base_level, register_base_carriers
 from repro.models.relational import add_relational_level, register_relational_carriers
+from repro.observe import ExecutionMetrics, RuleTrace, Tracer
 from repro.optimizer import Optimizer, standard_optimizer
 from repro.rep.model import add_representation_level, register_rep_carriers
+from repro.storage.io import GLOBAL_PAGES
 from repro.system.transactions import (
     program_transaction,
     referenced_objects,
@@ -61,7 +75,15 @@ from repro.system.transactions import (
 
 @dataclass(slots=True)
 class SystemResult:
-    """The outcome of one statement processed by the system."""
+    """The outcome of one statement processed by the system.
+
+    This is the single result shape of the public API: ``run`` returns a
+    list of them, ``run_one`` and ``query`` return one.  ``timings`` maps
+    pipeline phases (``parse`` / ``typecheck`` / ``optimize`` /
+    ``execute`` / ``total``) to wall-clock seconds and is filled on every
+    statement; ``metrics`` and ``rule_trace`` are populated only when
+    metric collection is on (tracing enabled, or ``explain(analyze=True)``).
+    """
 
     kind: str
     level: str = "hybrid"  # 'model' | 'rep' | 'hybrid'
@@ -73,6 +95,9 @@ class SystemResult:
     translated_target: Optional[str] = None
     translated_source: Optional[str] = None
     fired: list[str] = field(default_factory=list)
+    timings: dict[str, float] = field(default_factory=dict)
+    metrics: Optional[ExecutionMetrics] = None
+    rule_trace: Optional[RuleTrace] = None
 
     @property
     def translated(self) -> bool:
@@ -96,7 +121,12 @@ class SystemResult:
         return f"query {text}"
 
 
-def make_relational_database() -> Database:
+# ---------------------------------------------------------------------------
+# Builders (the canonical constructors; `repro.api.connect` wraps these)
+# ---------------------------------------------------------------------------
+
+
+def build_relational_database() -> Database:
     """The full relational stack: base + model + representation + catalog."""
     builder = SignatureBuilder()
     add_base_level(builder)
@@ -112,7 +142,7 @@ def make_relational_database() -> Database:
     return Database(sos, algebra)
 
 
-def make_model_interpreter() -> Interpreter:
+def build_model_interpreter() -> Interpreter:
     """A plain interpreter over the full relational stack.
 
     Executes *model-level* statements directly against in-memory relations
@@ -120,28 +150,108 @@ def make_model_interpreter() -> Interpreter:
     real values, not virtual objects backed by representations.  Use this
     for model-only programs, including views over relations.
     """
-    return Interpreter(make_relational_database())
+    return Interpreter(build_relational_database())
 
 
-def make_relational_system(optimizer: Optional[Optimizer] = None) -> "SOSSystem":
+def build_relational_system(
+    optimizer: Optional[Optimizer] = None, tracer: Optional[Tracer] = None
+) -> "SOSSystem":
     """A ready-to-use system over the full relational stack, with the
     standard rules and the ``rep`` catalog created (paper: "a catalog rep
     has been created together with the database")."""
-    database = make_relational_database()
+    database = build_relational_database()
     system = SOSSystem(
-        database, optimizer if optimizer is not None else standard_optimizer()
+        database,
+        optimizer if optimizer is not None else standard_optimizer(),
+        tracer=tracer,
     )
     system.interpreter.run_one("create rep : catalog(ident, ident)")
     return system
 
 
+# ---------------------------------------------------------------------------
+# Deprecated factory shims (use `repro.api.connect` instead)
+# ---------------------------------------------------------------------------
+
+_WARNED: set[str] = set()
+
+
+def _warn_deprecated(old: str, new: str) -> None:
+    """Emit the deprecation warning for ``old`` exactly once per process."""
+    if old in _WARNED:
+        return
+    _WARNED.add(old)
+    warnings.warn(
+        f"{old}() is deprecated; use {new} instead",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+
+
+def make_relational_database() -> Database:
+    """Deprecated alias of :func:`build_relational_database`; prefer
+    ``repro.api.connect().database``."""
+    _warn_deprecated("make_relational_database", "repro.api.connect")
+    return build_relational_database()
+
+
+def make_model_interpreter() -> Interpreter:
+    """Deprecated alias of :func:`build_model_interpreter`; prefer
+    ``repro.api.connect(optimize=False)``."""
+    _warn_deprecated("make_model_interpreter", "repro.api.connect(optimize=False)")
+    return build_model_interpreter()
+
+
+def make_relational_system(optimizer: Optional[Optimizer] = None) -> "SOSSystem":
+    """Deprecated alias of :func:`build_relational_system`; prefer
+    ``repro.api.connect()``."""
+    _warn_deprecated("make_relational_system", "repro.api.connect")
+    return build_relational_system(optimizer)
+
+
 class SOSSystem:
     """Mixed-program processing with optimizing translation."""
 
-    def __init__(self, database: Database, optimizer: Optimizer):
+    def __init__(
+        self,
+        database: Database,
+        optimizer: Optimizer,
+        tracer: Optional[Tracer] = None,
+    ):
         self.database = database
         self.optimizer = optimizer
         self.interpreter = Interpreter(database)
+        self.tracer = tracer if tracer is not None else Tracer()
+        self._collect = False
+
+    # ------------------------------------------------------------ observability
+
+    def set_tracing(self, enabled: bool = True) -> None:
+        """Toggle per-statement metric collection.
+
+        While on, every executed statement carries ``metrics`` (operator
+        tuple counts, storage counters, I/O delta) and ``rule_trace`` on
+        its :class:`SystemResult`, and structured events flow through
+        ``self.tracer``.  Off (the default), the only per-statement cost
+        is a handful of clock reads for the phase timings.
+        """
+        self._collect = bool(enabled)
+
+    @property
+    def tracing(self) -> bool:
+        return self._collect
+
+    @contextmanager
+    def _phase(self, timings: dict[str, float], name: str) -> Iterator[None]:
+        """Time a pipeline phase into ``timings`` and span it on the tracer."""
+        with self.tracer.span("phase." + name):
+            start = time.perf_counter()
+            try:
+                yield
+            finally:
+                timings[name] = (
+                    timings.get(name, 0.0) + time.perf_counter() - start
+                )
 
     # ------------------------------------------------------------------- API
 
@@ -173,8 +283,13 @@ class SOSSystem:
 
     def _process(self, chunk: str, index: Optional[int]) -> SystemResult:
         try:
-            statement = self.interpreter.make_parser().parse_statement(chunk)
-            return self.execute(statement)
+            timings: dict[str, float] = {}
+            with self.tracer.span("statement", index=index):
+                with self._phase(timings, "parse"):
+                    statement = self.interpreter.make_parser().parse_statement(
+                        chunk
+                    )
+                return self.execute(statement, timings=timings)
         except SOSError as exc:
             raise wrap_statement_error(exc, index=index, source=chunk) from exc
         except RecursionError as exc:
@@ -183,72 +298,169 @@ class SOSSystem:
             )
             raise wrap_statement_error(err, index=index, source=chunk) from exc
 
-    def query(self, source: str):
-        """Convenience: run one query statement, return its value."""
-        result = self.run_one("query " + source)
-        return result.value
+    def query(self, source: str) -> SystemResult:
+        """Run one query statement.
 
-    def explain(self, source: str) -> dict:
-        """Parse, typecheck and optimize a query *without executing it*.
+        Returns the full :class:`SystemResult` (the same shape ``run`` and
+        ``run_one`` produce); the answer is its ``value`` attribute.
+        """
+        return self.run_one("query " + source)
 
-        Returns the chosen plan (concrete syntax), the rules that fired, the
-        estimated cost, and the statement's level — the optimizer's answer
-        to "what would you do with this query?".
+    def explain(self, source: str, *, analyze: bool = False) -> dict:
+        """The optimizer's answer to "what would you do with this query?".
+
+        Parses, typechecks and optimizes a query *without executing it* and
+        returns the chosen plan (concrete syntax), the rules that fired
+        with the full rule trace, the estimated cost, the statement's
+        level, and ``translated`` — False for representation-level
+        (already-translated) and hybrid queries, which get the identity
+        plan instead of an error.
+
+        With ``analyze=True`` the query is also *executed* with metric
+        collection armed, adding real row counts, per-operator tuple
+        counts, storage access counters, and per-phase timings (the
+        classic EXPLAIN ANALYZE).
         """
         from repro.core.terms import clone_term
         from repro.optimizer.cost import estimate
 
         words = source.split()
-        if not words or words[0] not in ("type", "create", "update", "delete", "query"):
+        if not words or words[0] not in (
+            "type", "create", "update", "delete", "query",
+        ):
             source = "query " + source
         statement = self.interpreter.make_parser().parse_statement(source)
         if not isinstance(statement, QueryStmt):
             raise UpdateError("explain only accepts query statements")
+        if analyze:
+            result = self.execute(statement, collect=True)
+            plan_term = (
+                result.translated_term
+                if result.translated_term is not None
+                else result.term
+            )
+            assert result.metrics is not None and result.rule_trace is not None
+            return {
+                "level": result.level,
+                "translated": result.translated,
+                "plan": (
+                    result.translated_source
+                    if result.translated_source is not None
+                    else self._concrete(result.term)
+                ),
+                "fired": result.fired,
+                "estimated_cost": estimate(plan_term, self.database),
+                "result_type": result.type,
+                "analyzed": True,
+                "rows": (
+                    len(result.value) if isinstance(result.value, list) else None
+                ),
+                "value": result.value,
+                "metrics": result.metrics.as_dict(),
+                "rule_trace": result.rule_trace.as_dict(),
+                "timings": dict(result.timings),
+            }
         tc = self.database.typechecker
         term = tc.check(statement.expr)
         level = self._term_level(term)
+        trace = RuleTrace()
         fired: list[str] = []
         plan = term
         if level == "model":
             work = tc.check(clone_term(term))
-            opt = self.optimizer.optimize(work, self.database)
+            opt = self.optimizer.optimize(work, self.database, trace)
             plan = opt.term
             fired = opt.fired
         return {
             "level": level,
+            "translated": bool(fired),
             "plan": self._concrete(plan),
             "fired": fired,
             "estimated_cost": estimate(plan, self.database),
             "result_type": plan.type,
+            "analyzed": False,
+            "rule_trace": trace.as_dict(),
         }
 
     # ------------------------------------------------------------- execution
 
-    def execute(self, statement: Statement) -> SystemResult:
+    def execute(
+        self,
+        statement: Statement,
+        *,
+        timings: Optional[dict[str, float]] = None,
+        collect: Optional[bool] = None,
+    ) -> SystemResult:
         """Process one parsed statement atomically: on any error the
         database (catalog and object values) is rolled back to its
-        pre-statement state."""
-        with statement_transaction(self.database):
-            return self._execute(statement)
+        pre-statement state.
 
-    def _execute(self, statement: Statement) -> SystemResult:
+        ``collect`` overrides the session tracing flag for this statement
+        (used by ``explain(analyze=True)``).
+        """
+        if timings is None:
+            timings = {}
+        if collect is None:
+            collect = self._collect
+        with statement_transaction(self.database):
+            if collect:
+                metrics = ExecutionMetrics()
+                trace = RuleTrace()
+                before = GLOBAL_PAGES.stats.snapshot()
+                with observe.collecting(metrics):
+                    result = self._execute(statement, timings, trace)
+                io = GLOBAL_PAGES.stats.delta(before)
+                metrics.io = {
+                    "reads": io.reads,
+                    "writes": io.writes,
+                    "pages_allocated": io.pages_allocated,
+                }
+                result.metrics = metrics
+                result.rule_trace = trace
+            else:
+                result = self._execute(statement, timings, None)
+        timings["total"] = sum(
+            v for k, v in timings.items() if k != "total"
+        )
+        result.timings = timings
+        if collect:
+            self.tracer.emit(
+                "statement.metrics",
+                kind="counter",
+                value=timings["total"],
+                metrics=result.metrics,
+                timings=timings,
+            )
+        return result
+
+    def _execute(
+        self,
+        statement: Statement,
+        timings: dict[str, float],
+        trace: Optional[RuleTrace],
+    ) -> SystemResult:
         if isinstance(statement, TypeStmt):
-            t = self.database.define_type(statement.name, statement.type)
+            with self._phase(timings, "execute"):
+                t = self.database.define_type(statement.name, statement.type)
             return SystemResult("type", name=statement.name, type=t)
         if isinstance(statement, CreateStmt):
-            obj = self.database.create(statement.name, statement.type)
-            if obj.level != "model":
-                self.interpreter._auto_initialize(statement.name, statement.type)
+            with self._phase(timings, "execute"):
+                obj = self.database.create(statement.name, statement.type)
+                if obj.level != "model":
+                    self.interpreter._auto_initialize(
+                        statement.name, statement.type
+                    )
             return SystemResult(
                 "create", level=obj.level, name=statement.name, type=obj.type
             )
         if isinstance(statement, DeleteStmt):
-            self.database.drop(statement.name)
+            with self._phase(timings, "execute"):
+                self.database.drop(statement.name)
             return SystemResult("delete", name=statement.name)
         if isinstance(statement, UpdateStmt):
-            return self._execute_update(statement)
+            return self._execute_update(statement, timings, trace)
         if isinstance(statement, QueryStmt):
-            return self._execute_query(statement)
+            return self._execute_query(statement, timings, trace)
         raise TypeError(f"not a statement: {statement!r}")
 
     def _term_level(self, term: Term) -> str:
@@ -294,23 +506,34 @@ class SOSSystem:
             for a in term.args:
                 self._collect_levels(a, bound, levels)
 
-    def _execute_update(self, statement: UpdateStmt) -> SystemResult:
+    def _emit_fired(self, fired: list[str]) -> None:
+        for name in fired:
+            self.tracer.emit("rule.fired", rule=name)
+
+    def _execute_update(
+        self,
+        statement: UpdateStmt,
+        timings: dict[str, float],
+        trace: Optional[RuleTrace],
+    ) -> SystemResult:
         obj = self.database.objects.get(statement.name)
         if obj is None:
             raise CatalogError(f"no such object: {statement.name}")
         tc = self.database.typechecker
-        term = tc.check_value_term(statement.expr, obj.type)
-        level = self._term_level(term)
+        with self._phase(timings, "typecheck"):
+            term = tc.check_value_term(statement.expr, obj.type)
+            level = self._term_level(term)
         if obj.level != "model" and level != "model":
             # Direct execution at the representation/hybrid level.
-            self.interpreter._check_update_root(term, statement.name)
-            self.database.protect(
-                statement.name, *referenced_objects(term, self.database)
-            )
-            value = self.database.evaluator.eval(term, allow_update=True)
-            if isinstance(value, Stream):
-                value = value.materialize()
-            self.database.set_value(statement.name, value)
+            with self._phase(timings, "execute"):
+                self.interpreter._check_update_root(term, statement.name)
+                self.database.protect(
+                    statement.name, *referenced_objects(term, self.database)
+                )
+                value = self.database.evaluator.eval(term, allow_update=True)
+                if isinstance(value, Stream):
+                    value = value.materialize()
+                self.database.set_value(statement.name, value)
             return SystemResult(
                 "update", level=obj.level, name=statement.name,
                 type=obj.type, term=term,
@@ -319,22 +542,26 @@ class SOSSystem:
         # so the reported original statement term stays intact).
         from repro.core.terms import clone_term
 
-        work = tc.check_value_term(clone_term(term), obj.type)
-        opt = self.optimizer.optimize(work, self.database)
-        translated = opt.term
-        if self._term_level(translated) == "model":
-            raise OptimizationError(
-                f"no rule translates the model update on {statement.name}: "
-                f"{format_term(term)}"
+        with self._phase(timings, "optimize"):
+            work = tc.check_value_term(clone_term(term), obj.type)
+            opt = self.optimizer.optimize(work, self.database, trace)
+            translated = opt.term
+            if self._term_level(translated) == "model":
+                raise OptimizationError(
+                    f"no rule translates the model update on {statement.name}: "
+                    f"{format_term(term)}"
+                )
+        self._emit_fired(opt.fired)
+        with self._phase(timings, "execute"):
+            target = self._update_target(translated)
+            self.database.protect(
+                statement.name, target,
+                *referenced_objects(translated, self.database),
             )
-        target = self._update_target(translated)
-        self.database.protect(
-            statement.name, target, *referenced_objects(translated, self.database)
-        )
-        value = self.database.evaluator.eval(translated, allow_update=True)
-        if isinstance(value, Stream):
-            value = value.materialize()
-        self.database.set_value(target, value)
+            value = self.database.evaluator.eval(translated, allow_update=True)
+            if isinstance(value, Stream):
+                value = value.materialize()
+            self.database.set_value(target, value)
         return SystemResult(
             "update",
             level="model",
@@ -363,28 +590,37 @@ class SOSSystem:
             f"object: {format_term(translated)}"
         )
 
-    def _execute_query(self, statement: QueryStmt) -> SystemResult:
+    def _execute_query(
+        self,
+        statement: QueryStmt,
+        timings: dict[str, float],
+        trace: Optional[RuleTrace],
+    ) -> SystemResult:
         tc = self.database.typechecker
-        term = tc.check(statement.expr)
-        level = self._term_level(term)
+        with self._phase(timings, "typecheck"):
+            term = tc.check(statement.expr)
+            level = self._term_level(term)
         translated_term = None
         fired: list[str] = []
         exec_term = term
         if level == "model":
             from repro.core.terms import clone_term
 
-            work = tc.check(clone_term(term))
-            opt = self.optimizer.optimize(work, self.database)
-            if self._term_level(opt.term) == "model":
-                raise OptimizationError(
-                    f"no rule translates the model query: {format_term(term)}"
-                )
+            with self._phase(timings, "optimize"):
+                work = tc.check(clone_term(term))
+                opt = self.optimizer.optimize(work, self.database, trace)
+                if self._term_level(opt.term) == "model":
+                    raise OptimizationError(
+                        f"no rule translates the model query: {format_term(term)}"
+                    )
             exec_term = opt.term
             translated_term = opt.term
             fired = opt.fired
-        value = self.database.evaluator.eval(exec_term)
-        if isinstance(value, Stream):
-            value = value.materialize()
+            self._emit_fired(fired)
+        with self._phase(timings, "execute"):
+            value = self.database.evaluator.eval(exec_term)
+            if isinstance(value, Stream):
+                value = value.materialize()
         return SystemResult(
             "query",
             level=level,

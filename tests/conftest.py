@@ -6,9 +6,9 @@ import random
 
 import pytest
 
+from repro.api import connect
 from repro.core.types import TypeApp, rel_type, tuple_type
 from repro.models.relational import make_relation, make_tuple, relational_model
-from repro.system import make_relational_system
 
 INT = TypeApp("int")
 STRING = TypeApp("string")
@@ -35,8 +35,12 @@ def rel_model():
 
 @pytest.fixture()
 def system():
-    """A fresh full relational system with the standard optimizer."""
-    return make_relational_system()
+    """A fresh full relational system with the standard optimizer.
+
+    The raw :class:`SOSSystem` (not the :class:`repro.api.Session` facade),
+    so tests can poke at ``.optimizer`` and ``.interpreter`` directly.
+    """
+    return connect().system
 
 
 @pytest.fixture()

@@ -1,0 +1,180 @@
+"""The public facade: ``repro.api.connect`` and the unified result shape."""
+
+from __future__ import annotations
+
+import warnings
+
+import pytest
+
+from repro.api import Session, connect
+from repro.errors import CatalogError
+from repro.observe import Tracer
+from repro.system import SystemResult
+
+SCHEMA = """
+type city = tuple(<(cname, string), (center, point), (pop, int)>)
+create cities : rel(city)
+create cities_rep : btree(city, pop, int)
+update rep := insert(rep, cities, cities_rep)
+update cities := insert(cities, mktuple[<(cname, "aa"), (center, pt(1, 1)), (pop, 100)>])
+update cities := insert(cities, mktuple[<(cname, "bb"), (center, pt(2, 2)), (pop, 200000)>])
+"""
+
+
+class TestConnect:
+    def test_relational_session(self):
+        db = connect()
+        assert isinstance(db, Session)
+        assert "rep" in db.database.objects  # catalog pre-created
+        db.run(SCHEMA)
+        result = db.query("cities select[pop > 100000]")
+        assert isinstance(result, SystemResult)
+        assert [t.attr("cname") for t in result.value] == ["bb"]
+
+    def test_model_session(self):
+        db = connect(model="model")
+        db.run("type t = tuple(<(a, int)>)\ncreate r : rel(t)")
+        db.run_one("update r := insert(r, mktuple[<(a, 7)>])")
+        result = db.query("r select[a > 0]")
+        assert isinstance(result, SystemResult)
+        assert result.level == "model"
+        assert len(result.value.rows) == 1
+
+    def test_unknown_model_rejected(self):
+        with pytest.raises(CatalogError):
+            connect(model="hierarchical")
+
+    def test_model_session_takes_no_optimizer(self):
+        from repro.optimizer import standard_optimizer
+
+        with pytest.raises(CatalogError):
+            connect(model="model", optimizer=standard_optimizer())
+        with pytest.raises(CatalogError):
+            connect(model="model").system  # no optimizer system behind it
+
+    def test_custom_optimizer(self):
+        from repro.optimizer import standard_optimizer
+
+        opt = standard_optimizer()
+        db = connect(optimizer=opt)
+        assert db.system.optimizer is opt
+
+    def test_trace_true_enables_collection(self):
+        db = connect(trace=True)
+        assert db.tracing
+        db.run(SCHEMA)
+        result = db.query("cities_rep feed count")
+        assert result.metrics is not None
+        assert result.metrics.tuples_out("feed") == 2
+
+    def test_trace_callable_subscribes(self):
+        events = []
+        db = connect(trace=events.append)
+        db.run_one("query 1 + 2")
+        assert any(e.name == "statement" for e in events)
+        assert db.tracing  # a callable also arms collection
+
+    def test_trace_tracer_instance_is_the_bus(self):
+        tracer = Tracer()
+        db = connect(trace=tracer)
+        assert db.tracer is tracer
+        assert db.system.tracer is tracer
+
+
+class TestResultShapeUnification:
+    """run, run_one and query all speak SystemResult."""
+
+    def test_relational_shapes_agree(self):
+        db = connect()
+        results = db.run(SCHEMA)
+        assert all(isinstance(r, SystemResult) for r in results)
+        one = db.run_one("query cities_rep feed count")
+        via_query = db.query("cities_rep feed count")
+        assert isinstance(one, SystemResult)
+        assert isinstance(via_query, SystemResult)
+        assert one.value == via_query.value == 2
+
+    def test_model_shapes_agree(self):
+        db = connect(model="model")
+        results = db.run("type t = tuple(<(a, int)>)\ncreate r : rel(t)")
+        assert all(isinstance(r, SystemResult) for r in results)
+        assert results[0].kind == "type"
+        assert results[1].level == "model"
+
+    def test_every_result_carries_timings(self):
+        db = connect()
+        for result in db.run(SCHEMA):
+            assert result.timings["total"] >= 0.0
+            assert "parse" in result.timings
+        model_fired = db.query("cities select[pop > 0]")
+        assert set(model_fired.timings) >= {
+            "parse", "typecheck", "optimize", "execute", "total",
+        }
+
+    def test_metrics_off_by_default(self):
+        db = connect()
+        db.run(SCHEMA)
+        result = db.query("cities_rep feed count")
+        assert result.metrics is None and result.rule_trace is None
+
+
+class TestSessionSurface:
+    def test_dump_restore_round_trip(self):
+        db = connect()
+        db.run(SCHEMA)
+        text = db.dump()
+        clone = connect()
+        clone.restore(text)
+        assert clone.query("cities_rep feed count").value == 2
+
+    def test_explain_passthrough(self):
+        db = connect()
+        db.run(SCHEMA)
+        info = db.explain("cities select[pop > 100000]")
+        assert info["translated"] is True
+        assert info["fired"] == ["select_gt_btree_range"]
+
+    def test_repr(self):
+        assert "relational" in repr(connect())
+        assert "model" in repr(connect(model="model"))
+
+
+class TestDeprecatedShims:
+    def test_old_factories_warn_once(self):
+        from repro.system import sos_system
+
+        for name in (
+            "make_relational_system",
+            "make_model_interpreter",
+            "make_relational_database",
+        ):
+            factory = getattr(sos_system, name)
+            sos_system._WARNED.discard(name)
+            with warnings.catch_warnings(record=True) as caught:
+                warnings.simplefilter("always")
+                factory()
+                factory()
+            deprecations = [
+                w for w in caught if issubclass(w.category, DeprecationWarning)
+            ]
+            assert len(deprecations) == 1, name
+            assert "deprecated" in str(deprecations[0].message)
+            assert "repro.api.connect" in str(deprecations[0].message)
+
+    def test_old_factories_still_work(self):
+        from repro.system import make_relational_system
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore")
+            system = make_relational_system()
+        system.run("type t = tuple(<(a, int)>)")
+        assert "t" in system.database.aliases
+
+    def test_facade_emits_no_deprecation_warnings(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            db = connect()
+            db.run(SCHEMA)
+            db.query("cities_rep feed count")
+            db.explain("cities select[pop > 0]", analyze=True)
+            connect(model="model").run("type t = tuple(<(a, int)>)")

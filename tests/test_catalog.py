@@ -5,7 +5,7 @@ import pytest
 from repro.catalog.catalog import CatalogValue
 from repro.core.types import Sym, TypeApp
 from repro.errors import TypeCheckError
-from repro.system import make_relational_system
+from repro.system import build_relational_system
 
 CAT2 = TypeApp("catalog", (TypeApp("ident"), TypeApp("ident")))
 
@@ -51,14 +51,14 @@ class TestCatalogValue:
 
 class TestCatalogInLanguage:
     def test_create_catalog(self):
-        system = make_relational_system()
+        system = build_relational_system()
         system.run_one("create mycat : catalog(ident, ident, ident)")
         value = system.database.objects["mycat"].value
         assert isinstance(value, CatalogValue)
         assert value.width == 3
 
     def test_insert_object_names_as_idents(self):
-        system = make_relational_system()
+        system = build_relational_system()
         system.run(
             """
 type t = tuple(<(a, int)>)
@@ -71,7 +71,7 @@ update rep := insert(rep, r, r_rep)
         assert (Sym("r"), Sym("r_rep")) in cat.rows
 
     def test_cat_remove(self):
-        system = make_relational_system()
+        system = build_relational_system()
         system.run(
             """
 type t = tuple(<(a, int)>)
@@ -84,6 +84,6 @@ update rep := cat_remove(rep, r, r_rep)
         assert len(system.database.objects["rep"].value) == 0
 
     def test_width_mismatch_rejected_at_typecheck(self):
-        system = make_relational_system()
+        system = build_relational_system()
         with pytest.raises(TypeCheckError):
             system.run_one("update rep := insert(rep, a, b, c)")

@@ -2,13 +2,13 @@
 
 import pytest
 
-from repro.system import dump_program, make_relational_system, restore_program
+from repro.system import dump_program, build_relational_system, restore_program
 
 
 class TestDumpRestore:
     def test_roundtrip_rebuilds_everything(self, loaded_system):
         text = dump_program(loaded_system.database)
-        fresh = make_relational_system()
+        fresh = build_relational_system()
         restore_program(fresh, text)
 
         # named types
@@ -29,7 +29,7 @@ class TestDumpRestore:
 
     def test_restored_system_answers_queries_identically(self, loaded_system):
         text = dump_program(loaded_system.database)
-        fresh = make_relational_system()
+        fresh = build_relational_system()
         restore_program(fresh, text)
         for query in (
             "query cities select[pop >= 5000]",
@@ -43,7 +43,7 @@ class TestDumpRestore:
 
     def test_polygons_round_trip(self, loaded_system):
         text = dump_program(loaded_system.database)
-        fresh = make_relational_system()
+        fresh = build_relational_system()
         restore_program(fresh, text)
         old_lsd = loaded_system.database.objects["states_rep"].value
         new_lsd = fresh.database.objects["states_rep"].value
@@ -72,7 +72,7 @@ create one : t
             "one", TupleValue(system.database.aliases["t"], (7, True))
         )
         text = dump_program(system.database)
-        fresh = make_relational_system()
+        fresh = build_relational_system()
         restore_program(fresh, text)
         restored = fresh.database.objects["one"].value
         assert restored.attr("a") == 7
@@ -99,7 +99,7 @@ class TestDumpProperty:
         )
         @settings(max_examples=20, deadline=None)
         def check(rows):
-            system = make_relational_system()
+            system = build_relational_system()
             system.run(
                 """
 type row = tuple(<(s, string), (i, int), (r, real), (b, bool)>)
@@ -113,7 +113,7 @@ create data : srel(row)
             for s, i, r, b in rows:
                 srel.append(make_tuple(row_t, s=s, i=i, r=r, b=b))
             text = dump_program(system.database)
-            fresh = make_relational_system()
+            fresh = build_relational_system()
             restore_program(fresh, text)
             restored = fresh.database.objects["data"].value
             assert sorted(map(repr, restored.scan())) == sorted(
@@ -125,9 +125,9 @@ create data : srel(row)
 
 class TestUndumpableValues:
     def test_function_valued_objects_become_notes(self):
-        from repro.system import make_model_interpreter
+        from repro.system import build_model_interpreter
 
-        interp = make_model_interpreter()
+        interp = build_model_interpreter()
         interp.run(
             """
 type t = tuple(<(a, int)>)

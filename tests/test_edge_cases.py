@@ -95,17 +95,17 @@ class TestOddButLegal:
 
 class TestViewEdgeCases:
     def test_wrong_arity_view_body_rejected(self):
-        from repro.system import make_model_interpreter
+        from repro.system import build_model_interpreter
 
-        interp = make_model_interpreter()
+        interp = build_model_interpreter()
         interp.run("type t = tuple(<(a, int)>)\ncreate v : (-> rel(t))")
         with pytest.raises(TypeCheckError):
             interp.run_one("update v := fun (x: int) x")
 
     def test_view_of_wrong_result_type_rejected(self):
-        from repro.system import make_model_interpreter
+        from repro.system import build_model_interpreter
 
-        interp = make_model_interpreter()
+        interp = build_model_interpreter()
         interp.run("type t = tuple(<(a, int)>)\ncreate v : (-> rel(t))")
         with pytest.raises(TypeCheckError):
             interp.run_one("update v := fun () 42")

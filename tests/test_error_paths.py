@@ -5,7 +5,7 @@ import pytest
 
 from repro.core.types import TypeApp, rel_type, tuple_type
 from repro.errors import CatalogError, StatementError, UpdateError
-from repro.system import make_relational_system
+from repro.system import build_relational_system
 from repro.testing import database_fingerprint
 
 INT = TypeApp("int")
@@ -13,7 +13,7 @@ INT = TypeApp("int")
 
 @pytest.fixture()
 def system():
-    s = make_relational_system()
+    s = build_relational_system()
     s.run(
         """
 type t = tuple(<(a, int)>)

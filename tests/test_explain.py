@@ -38,3 +38,78 @@ class TestExplain:
         info = loaded_system.explain("cities states join[center inside region]")
         assert info["fired"] == ["join_inside_lsdtree"]
         assert "point_search" in info["plan"]
+
+    def test_translated_flag(self, loaded_system):
+        translated = loaded_system.explain("cities select[pop >= 5000]")
+        assert translated["translated"] is True
+        direct = loaded_system.explain("cities_rep feed filter[pop >= 5000]")
+        assert direct["translated"] is False
+
+    def test_rep_level_query_gets_identity_plan(self, loaded_system):
+        """A representation-level query explains as itself, not an error."""
+        info = loaded_system.explain("cities_rep feed filter[pop >= 5000]")
+        assert info["level"] == "rep"
+        assert info["translated"] is False
+        assert info["fired"] == []
+        assert "cities_rep feed" in info["plan"]
+
+    def test_explaining_a_generated_plan_round_trips(self, loaded_system):
+        """The plan explain prints is itself explainable (translated: false).
+
+        This exercises the printer round-trip for generated plans — in
+        particular nullary constants like ``top``, which must print bare to
+        re-parse.
+        """
+        first = loaded_system.explain("cities select[pop >= 5000]")
+        assert first["translated"] is True
+        again = loaded_system.explain(first["plan"])
+        assert again["level"] == "rep"
+        assert again["translated"] is False
+        assert again["fired"] == []
+        assert again["plan"] == first["plan"]
+
+    def test_result_includes_rule_trace(self, loaded_system):
+        info = loaded_system.explain("cities select[pop >= 5000]")
+        trace = info["rule_trace"]
+        assert [f["rule"] for f in trace["fired"]] == ["select_ge_btree_range"]
+        assert trace["attempts"]["select_ge_btree_range"]["fired"] == 1
+        # Rules that were tried but did not apply are accounted too.
+        assert any(
+            rule != "select_ge_btree_range" for rule in trace["attempts"]
+        )
+
+
+class TestExplainAnalyze:
+    def test_analyze_executes_and_reports(self, loaded_system):
+        info = loaded_system.explain("cities select[pop >= 5000]", analyze=True)
+        assert info["analyzed"] is True
+        assert info["translated"] is True
+        expected = loaded_system.query("cities select[pop >= 5000]").value
+        assert info["rows"] == len(expected)
+        assert info["value"] == expected
+        metrics = info["metrics"]
+        assert metrics["operators"]["range"]["out"] == info["rows"]
+        assert metrics["counters"]["btree.node_reads"] > 0
+        assert metrics["io"]["reads"] > 0
+        assert info["timings"]["total"] > 0.0
+        assert set(info["timings"]) >= {"typecheck", "optimize", "execute"}
+
+    def test_analyze_leaves_database_unchanged(self, loaded_system):
+        bt = loaded_system.database.objects["cities_rep"].value
+        before = len(bt)
+        loaded_system.explain("cities select[pop >= 0]", analyze=True)
+        assert len(bt) == before
+
+    def test_analyze_does_not_leave_collection_armed(self, loaded_system):
+        from repro import observe
+
+        loaded_system.explain("cities select[pop >= 5000]", analyze=True)
+        assert observe.ENABLED is False
+        # And the session's own tracing setting is untouched.
+        assert loaded_system.tracing is False
+        assert loaded_system.query("cities_rep feed count").metrics is None
+
+    def test_plain_explain_has_no_analyze_payload(self, loaded_system):
+        info = loaded_system.explain("cities select[pop >= 5000]")
+        assert info["analyzed"] is False
+        assert "rows" not in info and "metrics" not in info

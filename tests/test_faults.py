@@ -10,7 +10,7 @@ the same statement succeeds and changes the state.
 import pytest
 
 from repro.errors import SOSError
-from repro.system import make_relational_system
+from repro.system import build_relational_system
 from repro.system.transactions import statement_transaction
 from repro.testing import (
     FAULT_SITES,
@@ -40,7 +40,7 @@ def session():
     """A mixed Section-6 session: model relations over a B-tree and an
     LSD-tree, scratch representation structures, a model-level relation
     executed directly, and the ``rep`` catalog."""
-    system = make_relational_system()
+    system = build_relational_system()
     system.run(
         """
 type city = tuple(<(cname, string), (center, point), (pop, int)>)

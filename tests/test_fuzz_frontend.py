@@ -14,9 +14,9 @@ from hypothesis import strategies as st
 
 from repro.errors import SOSError
 from repro.lang.lexer import tokenize
-from repro.system import make_relational_system
+from repro.system import build_relational_system
 
-SYSTEM = make_relational_system()
+SYSTEM = build_relational_system()
 SYSTEM.run(
     """
 type city = tuple(<(cname, string), (pop, int)>)

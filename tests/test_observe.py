@@ -1,0 +1,283 @@
+"""The event bus and metric machinery of :mod:`repro.observe`."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import observe
+from repro.observe import Event, ExecutionMetrics, RuleTrace, Tracer
+
+
+class TestTracer:
+    def test_disabled_bus_emits_nothing(self):
+        tracer = Tracer()
+        assert not tracer.enabled
+        tracer.emit("x")  # no subscribers: a no-op, not an error
+        with tracer.span("y"):
+            pass
+
+    def test_events_reach_subscribers(self):
+        tracer = Tracer()
+        seen: list[Event] = []
+        tracer.subscribe(seen.append)
+        assert tracer.enabled
+        tracer.emit("tick", value=3.0, extra="payload")
+        assert [e.name for e in seen] == ["tick"]
+        assert seen[0].kind == "counter"
+        assert seen[0].value == 3.0
+        assert seen[0].data == {"extra": "payload"}
+
+    def test_unsubscribe(self):
+        tracer = Tracer()
+        seen = []
+        tracer.subscribe(seen.append)
+        tracer.unsubscribe(seen.append)
+        tracer.emit("tick")
+        assert seen == []
+        assert not tracer.enabled
+
+    def test_span_emits_begin_end_with_duration(self):
+        tracer = Tracer()
+        seen = []
+        tracer.subscribe(seen.append)
+        with tracer.span("work", tag=1):
+            tracer.emit("inner")
+        kinds = [(e.name, e.kind) for e in seen]
+        assert kinds == [("work", "begin"), ("inner", "counter"), ("work", "end")]
+        assert seen[2].value >= 0.0
+        assert seen[2].data == {"tag": 1}
+
+    def test_nested_spans_track_depth(self):
+        tracer = Tracer()
+        seen = []
+        tracer.subscribe(seen.append)
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                tracer.emit("leaf")
+        by_name = {e.name: e.depth for e in seen if e.kind != "end"}
+        assert by_name == {"outer": 0, "inner": 1, "leaf": 2}
+
+    def test_subscriber_exception_does_not_propagate(self):
+        tracer = Tracer()
+        seen = []
+
+        def broken(event):
+            raise RuntimeError("listener bug")
+
+        tracer.subscribe(broken)
+        tracer.subscribe(seen.append)
+        with tracer.span("work"):
+            tracer.emit("inner")
+        # All events still reached the healthy subscriber.
+        assert [e.name for e in seen] == ["work", "inner", "work"]
+        assert tracer.subscriber_errors == 3
+
+    def test_subscriber_exception_does_not_kill_execution(self, loaded_system):
+        loaded_system.tracer.subscribe(
+            lambda e: (_ for _ in ()).throw(RuntimeError("boom"))
+        )
+        result = loaded_system.query("cities_rep feed count")
+        assert result.value == 40
+        assert loaded_system.tracer.subscriber_errors > 0
+
+
+class TestCollecting:
+    def test_disabled_by_default(self):
+        assert observe.ENABLED is False
+        assert observe.active() is None
+        observe.incr("x")  # disarmed: silently dropped
+
+    def test_collecting_arms_and_restores(self):
+        with observe.collecting() as metrics:
+            assert observe.ENABLED is True
+            assert observe.active() is metrics
+            observe.incr("x", 2)
+        assert observe.ENABLED is False
+        assert observe.active() is None
+        assert metrics.counters == {"x": 2}
+
+    def test_nested_collection_keeps_sinks_separate(self):
+        with observe.collecting() as outer:
+            observe.incr("a")
+            with observe.collecting() as inner:
+                observe.incr("b")
+            assert observe.active() is outer
+            observe.incr("a")
+        assert outer.counters == {"a": 2}
+        assert inner.counters == {"b": 1}
+
+    def test_restores_on_exception(self):
+        with pytest.raises(ValueError):
+            with observe.collecting():
+                raise ValueError()
+        assert observe.ENABLED is False
+        assert observe.active() is None
+
+    def test_count_out_and_in_wrappers(self):
+        metrics = ExecutionMetrics()
+        assert list(metrics.count_out("feed", iter([1, 2, 3]))) == [1, 2, 3]
+        assert list(metrics.count_in("filter", iter([1, 2]))) == [1, 2]
+        assert metrics.operators == {
+            "feed": {"in": 0, "out": 3},
+            "filter": {"in": 2, "out": 0},
+        }
+        assert metrics.tuples_out("feed") == 3
+        assert metrics.tuples_out("missing") == 0
+
+    def test_as_dict_shape(self):
+        metrics = ExecutionMetrics()
+        metrics.incr("btree.node_reads", 4)
+        d = metrics.as_dict()
+        assert set(d) == {"operators", "counters", "io"}
+        assert d["counters"] == {"btree.node_reads": 4}
+
+
+class TestDisabledOverhead:
+    def test_statements_run_clean_without_collection(self, loaded_system):
+        # No tracing: results carry timings but no metrics objects, and the
+        # global flag stays down for the whole statement.
+        result = loaded_system.query("cities_rep feed count")
+        assert result.metrics is None
+        assert result.rule_trace is None
+        assert observe.ENABLED is False
+        assert set(result.timings) >= {"parse", "typecheck", "execute", "total"}
+
+    def test_tracing_toggle(self, loaded_system):
+        loaded_system.set_tracing(True)
+        assert loaded_system.tracing
+        traced = loaded_system.query("cities_rep feed count")
+        assert traced.metrics is not None
+        assert traced.metrics.tuples_out("feed") == 40
+        loaded_system.set_tracing(False)
+        untraced = loaded_system.query("cities_rep feed count")
+        assert untraced.metrics is None
+
+
+class TestRuleTrace:
+    def test_record_and_report(self):
+        trace = RuleTrace()
+        trace.record_attempt("r1", "no_match")
+        trace.record_attempt("r1", "no_match")
+        trace.record_attempt("r2", "conditions_failed")
+        trace.record_fired("r2", "translate", "before-term", "after-term")
+        d = trace.as_dict()
+        assert d["attempts"]["r1"] == {"no_match": 2}
+        assert d["attempts"]["r2"] == {"conditions_failed": 1, "fired": 1}
+        assert d["fired"] == [
+            {
+                "rule": "r2",
+                "step": "translate",
+                "before": "before-term",
+                "after": "after-term",
+            }
+        ]
+
+    def test_optimizer_records_trace(self, loaded_system):
+        from repro.core.terms import clone_term
+
+        statement = loaded_system.interpreter.make_parser().parse_statement(
+            "query cities select[pop >= 5000]"
+        )
+        tc = loaded_system.database.typechecker
+        term = tc.check(statement.expr)
+        trace = RuleTrace()
+        result = loaded_system.optimizer.optimize(
+            tc.check(clone_term(term)), loaded_system.database, trace
+        )
+        assert result.trace is trace
+        assert [f.rule for f in trace.fired] == result.fired
+        fired = trace.fired[0]
+        assert fired.rule == "select_ge_btree_range"
+        assert "select" in fired.before
+        assert "range" in fired.after
+        # The losing rules were attempted and accounted.
+        assert any(
+            "no_match" in outcomes or "conditions_failed" in outcomes
+            for rule, outcomes in trace.attempts.items()
+            if rule != "select_ge_btree_range"
+        )
+
+
+class TestMetricCorrectness:
+    """Exact operator/storage counts over a small deterministic dataset."""
+
+    @pytest.fixture()
+    def seeded(self, system):
+        # 4 cities strictly inside 4 distinct states (20-wide tiles), so the
+        # spatial join matches each city exactly once.
+        system.run(
+            """
+type city = tuple(<(cname, string), (center, point), (pop, int)>)
+type state = tuple(<(sname, string), (region, pgon)>)
+create cities : rel(city)
+create states : rel(state)
+create cities_rep : btree(city, pop, int)
+create states_rep : lsdtree(state, fun (s: state) bbox(s region))
+update rep := insert(rep, cities, cities_rep)
+update rep := insert(rep, states, states_rep)
+"""
+        )
+        for i in range(4):
+            system.run_one(
+                f'update states := insert(states, mktuple[<(sname, "s{i}"), '
+                f"(region, region_box({i * 20}, 0, {i * 20 + 20}, 100))>])"
+            )
+        for i in range(4):
+            x = i * 20 + 10  # strictly inside tile i
+            system.run_one(
+                f'update cities := insert(cities, mktuple[<(cname, "c{i}"), '
+                f"(center, pt({x}, 50)), (pop, {1000 * (i + 1)})>])"
+            )
+        system.set_tracing(True)
+        return system
+
+    def test_feed_count_tuple_flow(self, seeded):
+        result = seeded.query("cities_rep feed count")
+        m = result.metrics
+        assert m.tuples_out("feed") == 4
+        assert m.tuples_out("count") == 0  # count returns a scalar
+        # A single-leaf B-tree scan touches the root page twice (leftmost
+        # descent + the leaf walk).
+        assert m.counters["btree.node_reads"] == 2
+
+    def test_search_join_exact_node_accesses(self, seeded):
+        result = seeded.query("cities states join[center inside region]")
+        m = result.metrics
+        assert result.fired == ["join_inside_lsdtree"]
+        # 4 outer tuples, each probing the LSD-tree once; the tree holds 4
+        # states in its single bucket, so each point search reads 1 node.
+        assert m.counters["search_join.probes"] == 4
+        assert m.counters["lsdtree.node_reads"] == 4
+        assert m.tuples_out("point_search") == 4
+        assert m.tuples_out("search_join") == 4
+        assert m.counters["btree.node_reads"] == 2  # outer feed, single leaf
+        assert len(result.value) == 4
+
+    def test_range_search_node_accesses(self, seeded):
+        result = seeded.query("cities select[pop >= 3000]")
+        m = result.metrics
+        assert result.fired == ["select_ge_btree_range"]
+        # Single-leaf tree: root-as-leaf descent + the leaf read.  The >=
+        # rule is a pure halfrange search — no residual filter operator.
+        assert m.counters["btree.node_reads"] == 2
+        assert m.tuples_out("range") == 2
+        assert set(m.operators) == {"range"}
+
+    def test_io_delta_recorded(self, seeded):
+        result = seeded.query("cities_rep feed count")
+        assert result.metrics.io["reads"] >= 2
+        assert result.metrics.io["writes"] == 0
+
+    def test_tidrel_fetch_counter(self, seeded):
+        seeded.run(
+            """
+create orders_heap : tidrel(city)
+update orders_heap := insert(orders_heap, mktuple[<(cname, "zz"), (center, pt(1, 1)), (pop, 7)>])
+create orders_idx : sindex(city, pop, int)
+update orders_idx := build_index(orders_heap, pop)
+"""
+        )
+        result = seeded.query("orders_idx sindex_exact[7] count")
+        assert result.value == 1
+        # One matching TID, dereferenced once against the heap.
+        assert result.metrics.counters["tidrel.fetches"] == 1

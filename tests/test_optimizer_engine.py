@@ -8,12 +8,12 @@ from repro.errors import OptimizationError
 from repro.optimizer.engine import Optimizer, OptimizerStep
 from repro.optimizer.rules import RewriteRule, rule_vars
 from repro.optimizer.termmatch import RuleVar
-from repro.system import make_relational_system
+from repro.system import build_relational_system
 
 
 @pytest.fixture()
 def db():
-    return make_relational_system().database
+    return build_relational_system().database
 
 
 def _typed(db, text):

@@ -11,9 +11,9 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.models.relational import make_tuple
-from repro.system import make_relational_system
+from repro.system import build_relational_system
 
-SYSTEM = make_relational_system()
+SYSTEM = build_relational_system()
 SYSTEM.run(
     """
 type row = tuple(<(k, int), (tag, string)>)

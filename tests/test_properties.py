@@ -115,9 +115,9 @@ class TestTranslatedPlans:
     @given(rows_strategy, comparison, threshold)
     @settings(max_examples=25, deadline=None)
     def test_translation_is_semantics_preserving(self, rows, op, value):
-        from repro.system import make_relational_system
+        from repro.system import build_relational_system
 
-        system = make_relational_system()
+        system = build_relational_system()
         system.run(
             """
 type row = tuple(<(alpha, int), (beta, int), (gamma, string)>)

@@ -4,13 +4,13 @@ import pytest
 
 from repro.core.algebra import ResourceLimits
 from repro.errors import ExecutionError, ResourceLimitError, StatementError
-from repro.system import make_relational_system
+from repro.system import build_relational_system
 from repro.testing import database_fingerprint
 
 
 @pytest.fixture()
 def system():
-    return make_relational_system()
+    return build_relational_system()
 
 
 class TestStepBudget:
@@ -42,7 +42,7 @@ create r : srel(t)
 update r := insert(r, mktuple[<(a, 1)>])
 """
         )
-        assert system.query("r feed count") == 1
+        assert system.query("r feed count").value == 1
 
     def test_aborted_statement_rolls_back(self, system):
         system.run(

@@ -4,7 +4,7 @@ import pytest
 
 from repro.core.types import TypeApp, rel_type, tuple_type
 from repro.errors import CatalogError, OptimizationError
-from repro.system import make_model_interpreter, make_relational_system
+from repro.system import build_model_interpreter, build_relational_system
 
 INT = TypeApp("int")
 
@@ -56,8 +56,9 @@ create r : rel(t)
             system.run_one("query r select[a > 0]")
 
     def test_query_convenience_method(self, loaded_system):
-        value = loaded_system.query("cities_rep feed count")
-        assert value == 40
+        result = loaded_system.query("cities_rep feed count")
+        assert result.value == 40
+        assert result.kind == "query"
 
     def test_model_create_leaves_object_virtual(self, system):
         system.run("type t = tuple(<(a, int)>)")
@@ -72,7 +73,7 @@ create r : rel(t)
 
 class TestModelInterpreter:
     def test_direct_model_execution(self):
-        interp = make_model_interpreter()
+        interp = build_model_interpreter()
         interp.run(
             """
 type t = tuple(<(a, int)>)
@@ -88,7 +89,7 @@ update r := insert(r, mktuple[<(a, 5)>])
         model-level database loaded with the same rows."""
         translated = loaded_system.run_one("query cities select[pop >= 5000]")
         # rebuild at model level from the representation contents
-        interp = make_model_interpreter()
+        interp = build_model_interpreter()
         interp.run(
             """
 type city = tuple(<(cname, string), (center, point), (pop, int)>)

@@ -7,7 +7,7 @@ from repro.core.types import TypeApp, rel_type, tuple_type
 from repro.errors import CatalogError, OptimizationError, StatementError
 from repro.storage.io import PageManager
 from repro.storage.tidrel import SecondaryIndex, TidRelation
-from repro.system import make_relational_system
+from repro.system import build_relational_system
 from repro.system.transactions import (
     Transaction,
     clone_value,
@@ -27,7 +27,7 @@ def city(name, x, y, pop):
 
 @pytest.fixture()
 def session():
-    system = make_relational_system()
+    system = build_relational_system()
     system.run(
         """
 type city = tuple(<(cname, string), (center, point), (pop, int)>)
@@ -148,7 +148,7 @@ class TestTransaction:
         index = SecondaryIndex(heap, key=lambda t: t[0], pages=pages)
         index.build()
 
-        system = make_relational_system()
+        system = build_relational_system()
         db = system.database
         obj = db.create("heap_obj", TypeApp("int"))  # type is irrelevant here
         obj.value = heap
@@ -225,7 +225,7 @@ update cities := insert(cities, {city('y', 8, 8, 888)})
             atomic=True,
         )
         assert len(results) == 2
-        assert session.query("cities_rep feed count") == 5
+        assert session.query("cities_rep feed count").value == 5
 
     def test_nested_program_transaction_rejected(self, session):
         from repro.system.transactions import program_transaction
@@ -270,9 +270,9 @@ class TestStatementErrors:
         assert info.value.phase == "optimize"
 
     def test_interpreter_wraps_errors_too(self):
-        from repro.system import make_model_interpreter
+        from repro.system import build_model_interpreter
 
-        interp = make_model_interpreter()
+        interp = build_model_interpreter()
         with pytest.raises(StatementError) as info:
             interp.run("type t = tuple(<(a, int)>)\ncreate r : rel(t)\ndelete gone")
         assert info.value.index == 2
