@@ -1,0 +1,102 @@
+"""CI regression gate over :mod:`benchmarks.harness` output.
+
+``python -m benchmarks.compare BENCH_core.json BENCH_current.json`` exits
+nonzero when any tracked median regresses by more than 20 % against the
+committed baseline.
+
+Two classes of metric are checked:
+
+* ``counters`` — deterministic per-benchmark workload numbers (page
+  reads, row counts, plan-choice flags).  These are identical across
+  machines for a given code version, so *any* growth beyond the
+  threshold is a genuine algorithmic regression (a plan flip, a lost
+  index path, extra I/O); a plan-choice flag dropping from 1 to 0 always
+  fails.  Counters are always gated.
+* timing medians — gated only with ``--check-time``, and then compared
+  in calibration units (each file's ``median_ms`` divided by its own
+  ``meta.calibration_ms`` busy-loop time) so a slower CI host does not
+  raise false alarms.  Off by default because even normalized timings
+  are noisy on shared runners.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+THRESHOLD = 0.20
+
+
+def _load(path: str) -> dict:
+    with open(path) as f:
+        return json.load(f)
+
+
+def _regressed(baseline: float, current: float) -> bool:
+    if baseline <= 0:
+        return current > 0
+    return (current - baseline) / baseline > THRESHOLD
+
+
+def compare(
+    baseline: dict, current: dict, check_time: bool = False
+) -> list[str]:
+    """Every tracked-median regression, as human-readable failure lines."""
+    failures: list[str] = []
+    base_cal = baseline.get("meta", {}).get("calibration_ms") or 1.0
+    cur_cal = current.get("meta", {}).get("calibration_ms") or 1.0
+    for name, base in baseline.get("benchmarks", {}).items():
+        cur = current.get("benchmarks", {}).get(name)
+        if cur is None:
+            failures.append(f"{name}: missing from current run")
+            continue
+        for key, bval in sorted(base.get("counters", {}).items()):
+            cval = cur.get("counters", {}).get(key)
+            if cval is None:
+                failures.append(f"{name}.{key}: counter disappeared")
+            elif cval < bval and key.endswith("_picks_index"):
+                failures.append(
+                    f"{name}.{key}: plan choice regressed {bval} -> {cval}"
+                )
+            elif _regressed(bval, cval):
+                failures.append(
+                    f"{name}.{key}: {bval} -> {cval} "
+                    f"(+{(cval - bval) / max(bval, 1):.0%}, limit 20%)"
+                )
+        if check_time:
+            bnorm = base["median_ms"] / base_cal
+            cnorm = cur["median_ms"] / cur_cal
+            if _regressed(bnorm, cnorm):
+                failures.append(
+                    f"{name}.median_ms: {bnorm:.4f} -> {cnorm:.4f} "
+                    f"calibration units (limit 20%)"
+                )
+    return failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="benchmarks.compare", description=__doc__.splitlines()[0]
+    )
+    parser.add_argument("baseline", help="committed BENCH_*.json baseline")
+    parser.add_argument("current", help="freshly produced BENCH_*.json")
+    parser.add_argument(
+        "--check-time", action="store_true",
+        help="also gate calibration-normalized timing medians",
+    )
+    args = parser.parse_args(argv)
+    failures = compare(
+        _load(args.baseline), _load(args.current), check_time=args.check_time
+    )
+    if failures:
+        print(f"{len(failures)} regression(s) vs {args.baseline}:")
+        for line in failures:
+            print(f"  FAIL {line}")
+        return 1
+    print(f"no regressions vs {args.baseline}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

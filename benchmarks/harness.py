@@ -1,0 +1,268 @@
+"""A self-contained benchmark harness writing ``BENCH_*.json`` for CI diffs.
+
+``python -m benchmarks.harness --smoke --out BENCH_core.json`` runs every
+registered benchmark and writes one JSON document with, per benchmark:
+
+* wall-clock ``min_ms`` / ``median_ms`` / ``p95_ms`` over the rounds;
+* ``counters`` — *deterministic* workload numbers (simulated page reads,
+  row counts, plan-choice flags) that are identical across machines for a
+  given code version, so a CI gate can diff them without timing noise;
+* ``info`` — machine-dependent extras (e.g. the tracing overhead ratio)
+  reported for humans but never gated.
+
+The document's ``meta.calibration_ms`` times a fixed busy loop in the same
+process, so timing medians can be compared across machines in calibration
+units (see :mod:`benchmarks.compare`).  ``--smoke`` shrinks datasets and
+round counts to keep the CI pass under a few seconds; the committed
+baseline ``BENCH_core.json`` is a smoke run for exactly that reason.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import statistics
+import sys
+import time
+
+from benchmarks.helpers import build_spatial_system
+from repro import observe
+from repro.models.relational import make_tuple
+from repro.stats.analyze import analyze_objects
+from repro.storage.io import GLOBAL_PAGES
+
+SCHEMA_VERSION = 1
+
+
+# ---------------------------------------------------------------------------
+# Measurement plumbing
+# ---------------------------------------------------------------------------
+
+
+def _times(fn, rounds: int) -> list[float]:
+    out = []
+    for _ in range(rounds):
+        start = time.perf_counter()
+        fn()
+        out.append((time.perf_counter() - start) * 1000.0)
+    return out
+
+
+def _percentile(values: list[float], q: float) -> float:
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return ordered[0]
+    pos = q * (len(ordered) - 1)
+    low = int(pos)
+    high = min(low + 1, len(ordered) - 1)
+    frac = pos - low
+    return ordered[low] * (1 - frac) + ordered[high] * frac
+
+
+def _summarize(times: list[float]) -> dict:
+    return {
+        "rounds": len(times),
+        "min_ms": round(min(times), 3),
+        "median_ms": round(statistics.median(times), 3),
+        "p95_ms": round(_percentile(times, 0.95), 3),
+    }
+
+
+def _calibrate() -> float:
+    """Milliseconds for a fixed busy loop — the machine-speed unit used to
+    normalize timing medians across hosts."""
+    start = time.perf_counter()
+    total = 0
+    for i in range(200_000):
+        total += i * i
+    assert total > 0
+    return (time.perf_counter() - start) * 1000.0
+
+
+def _io_delta(fn):
+    before = GLOBAL_PAGES.stats.snapshot()
+    result = fn()
+    return result, GLOBAL_PAGES.stats.delta(before)
+
+
+# ---------------------------------------------------------------------------
+# Benchmarks
+# ---------------------------------------------------------------------------
+
+
+def bench_b1_range(smoke: bool) -> dict:
+    """The B1 selection answered by the B-tree range plan."""
+    n = 400 if smoke else 4000
+    system = build_spatial_system(n_cities=n, n_states=1)
+    text = "query cities_rep range[900000, top] count"
+    rows, io = _io_delta(lambda: system.run_one(text).value)
+    entry = _summarize(_times(lambda: system.run_one(text), 3 if smoke else 20))
+    entry["counters"] = {"rows": rows, "page_reads": io.reads}
+    return entry
+
+
+def bench_b1_scan(smoke: bool) -> dict:
+    """The same B1 selection answered by the feed-filter scan plan."""
+    n = 400 if smoke else 4000
+    system = build_spatial_system(n_cities=n, n_states=1)
+    text = "query cities_rep feed filter[pop >= 900000] count"
+    rows, io = _io_delta(lambda: system.run_one(text).value)
+    entry = _summarize(_times(lambda: system.run_one(text), 3 if smoke else 20))
+    entry["counters"] = {"rows": rows, "page_reads": io.reads}
+    return entry
+
+
+def _build_equijoin_system(smoke: bool):
+    from repro.api import connect
+    from repro.optimizer.standard_rules import cost_based_optimizer
+
+    session = connect(optimizer=cost_based_optimizer())
+    session.run(
+        """
+type order = tuple(<(oid, int), (cust, int)>)
+type customer = tuple(<(cid, int), (cname, string)>)
+create orders : rel(order)
+create customers : rel(customer)
+create orders_rep : srel(order)
+create customers_rep : btree(customer, cid, int)
+update rep := insert(rep, orders, orders_rep)
+update rep := insert(rep, customers, customers_rep)
+"""
+    )
+    db = session.database
+    order_t = db.aliases["order"]
+    cust_t = db.aliases["customer"]
+    orders = db.objects["orders_rep"].value
+    custs = db.objects["customers_rep"].value
+    # Sized so the textbook constants prefer the hash join while fresh
+    # statistics (unique inner key) reveal the index plan is cheaper.
+    n_orders, n_custs = (200, 4000) if smoke else (400, 10000)
+    for i in range(n_orders):
+        orders.append(make_tuple(order_t, oid=i, cust=(i * 13) % n_custs))
+    for i in range(n_custs):
+        custs.insert(make_tuple(cust_t, cid=i, cname=f"c{i}"))
+    return session
+
+
+def bench_equijoin_stats(smoke: bool) -> dict:
+    """Cost-based equi-join choice with statistics: the analyzed system
+    must pick the index nested-loop plan the textbook constants reject."""
+    session = _build_equijoin_system(smoke)
+    query = "query orders customers join[cust = cid]"
+    textbook = session.run_one(query)
+    analyze_objects(session.database, ["orders_rep", "customers_rep"])
+    analyzed, io = _io_delta(lambda: session.run_one(query))
+    entry = _summarize(_times(lambda: session.run_one(query), 3 if smoke else 10))
+    entry["counters"] = {
+        "rows": len(analyzed.value),
+        "page_reads": io.reads,
+        "textbook_picks_index": int(textbook.fired == ["equi_join_index"]),
+        "analyzed_picks_index": int(analyzed.fired == ["equi_join_index"]),
+    }
+    return entry
+
+
+def bench_analyze(smoke: bool) -> dict:
+    """The ``analyze`` statement itself over the spatial schema."""
+    n = 400 if smoke else 4000
+    system = build_spatial_system(n_cities=n, n_states=9)
+    result = system.run_one("analyze cities, states")
+    entry = _summarize(
+        _times(lambda: system.run_one("analyze"), 3 if smoke else 10)
+    )
+    entry["counters"] = {
+        "objects": len(result.value),
+        "histograms": sum(s["histograms"] for s in result.value.values()),
+        "rows": sum(s["rows"] for s in result.value.values()),
+    }
+    return entry
+
+
+def bench_trace_overhead(smoke: bool) -> dict:
+    """Tracing-off overhead on the B1 query: instrumentation must stay
+    within the documented <3 % budget when collection is disarmed.  The
+    ratio is machine-dependent, so it lands in ``info``, not counters."""
+    n = 400 if smoke else 2000
+    system = build_spatial_system(n_cities=n, n_states=1)
+    text = "query cities_rep range[900000, top] count"
+    rounds = 10 if smoke else 40
+    system.run_one(text)  # warm caches before measuring either mode
+    off = _times(lambda: system.run_one(text), rounds)
+    system.set_tracing(True)
+    on = _times(lambda: system.run_one(text), rounds)
+    system.set_tracing(False)
+    entry = _summarize(off)
+    ratio = statistics.median(on) / max(statistics.median(off), 1e-9)
+    entry["counters"] = {"rows": system.run_one(text).value}
+    entry["info"] = {"traced_over_untraced": round(ratio, 3)}
+    return entry
+
+
+BENCHMARKS = {
+    "b1_range": bench_b1_range,
+    "b1_scan": bench_b1_scan,
+    "equijoin_stats": bench_equijoin_stats,
+    "analyze": bench_analyze,
+    "trace_overhead": bench_trace_overhead,
+}
+
+
+# ---------------------------------------------------------------------------
+# Entry point
+# ---------------------------------------------------------------------------
+
+
+def run(
+    smoke: bool = False, only: list[str] | None = None
+) -> dict:
+    selected = only or list(BENCHMARKS)
+    unknown = [name for name in selected if name not in BENCHMARKS]
+    if unknown:
+        raise SystemExit(f"unknown benchmark(s): {', '.join(unknown)}")
+    document = {
+        "schema": SCHEMA_VERSION,
+        "meta": {
+            "mode": "smoke" if smoke else "full",
+            "calibration_ms": round(_calibrate(), 3),
+            "python": sys.version.split()[0],
+        },
+        "benchmarks": {},
+    }
+    for name in selected:
+        document["benchmarks"][name] = BENCHMARKS[name](smoke)
+    return document
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="benchmarks.harness", description=__doc__.splitlines()[0]
+    )
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="small datasets and few rounds (the CI mode)",
+    )
+    parser.add_argument(
+        "--out", default="BENCH_core.json", metavar="PATH",
+        help="output JSON path ('-' for stdout)",
+    )
+    parser.add_argument(
+        "--only", action="append", metavar="NAME",
+        help="run only the named benchmark (repeatable)",
+    )
+    args = parser.parse_args(argv)
+    if observe.ENABLED:
+        raise SystemExit("refusing to benchmark with collection armed")
+    document = run(smoke=args.smoke, only=args.only)
+    payload = json.dumps(document, indent=2, sort_keys=True) + "\n"
+    if args.out == "-":
+        sys.stdout.write(payload)
+    else:
+        with open(args.out, "w") as out:
+            out.write(payload)
+        names = ", ".join(document["benchmarks"])
+        print(f"wrote {args.out} ({names})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -6,15 +6,17 @@ Usage::
     python -m repro program.sos          # execute a program file
     python -m repro --model program.sos  # model-level execution, no optimizer
     python -m repro --trace ...          # per-statement metrics + rule trace
+    python -m repro --trace-json T.json  # export tracer events as a Chrome trace
     python -m repro --max-steps N ...    # arm the evaluation step budget
     python -m repro --max-depth N ...    # arm the recursion-depth limit
 
-The REPL accepts the five statement forms; a statement ends at the end of a
+The REPL accepts the six statement forms; a statement ends at the end of a
 line unless continued by indentation on the following lines (same rule as
 program files).  ``\\q`` quits, ``\\objects`` lists objects, ``\\types``
 lists named types, ``\\explain Q`` shows the plan for a query and
 ``\\explain+ Q`` also executes it, reporting real tuple counts, storage
-accesses and per-phase timings (EXPLAIN ANALYZE).
+accesses and per-phase timings (EXPLAIN ANALYZE); ``\\stats NAME`` prints
+the statistics catalog entries behind an object (run ``analyze`` first).
 
 Statements execute atomically: a failed statement reports its index, phase
 and source snippet, and leaves the database exactly as it was before —
@@ -69,6 +71,13 @@ def _print_result(result, trace: bool = False) -> None:
             print(f"  ({len(rows)} row(s))")
         else:
             print("  ", value)
+    if result.kind == "analyze" and isinstance(result.value, dict):
+        for name, info in result.value.items():
+            print(
+                f"   analyzed {name}: {info['rows']} row(s), "
+                f"{info['attributes']} attribute(s), "
+                f"{info['histograms']} histogram(s)"
+            )
     if trace:
         _print_metrics(result.metrics, result.timings)
 
@@ -90,12 +99,26 @@ def _make_runner(
     model_only: bool,
     limits: tuple[int | None, int | None],
     trace: bool = False,
+    trace_json: str | None = None,
 ):
     runner = connect("model" if model_only else "relational", trace=trace or None)
+    exporter = None
+    if trace_json is not None:
+        from repro.observe import ChromeTraceExporter
+
+        exporter = ChromeTraceExporter()
+        runner.subscribe(exporter)
     max_steps, max_depth = limits
     if max_steps is not None or max_depth is not None:
         runner.database.set_resource_limits(max_steps, max_depth)
-    return runner
+    return runner, exporter
+
+
+def _write_trace(exporter, trace_json: str | None) -> None:
+    if exporter is None or trace_json is None:
+        return
+    exporter.write(trace_json)
+    print(f"-- trace written to {trace_json} ({len(exporter.events)} event(s))")
 
 
 def run_file(
@@ -104,8 +127,9 @@ def run_file(
     dump_to: str | None = None,
     limits: tuple[int | None, int | None] = (None, None),
     trace: bool = False,
+    trace_json: str | None = None,
 ) -> int:
-    runner = _make_runner(model_only, limits, trace)
+    runner, exporter = _make_runner(model_only, limits, trace, trace_json)
     try:
         with open(path) as f:
             source = f.read()
@@ -117,11 +141,13 @@ def run_file(
             _print_result(result, trace=trace)
     except SOSError as exc:
         _print_error(exc, sys.stderr)
+        _write_trace(exporter, trace_json)
         return 1
     if dump_to is not None:
         with open(dump_to, "w") as out:
             out.write(runner.dump())
         print(f"-- state dumped to {dump_to}")
+    _write_trace(exporter, trace_json)
     return 0
 
 
@@ -135,10 +161,21 @@ def _explain(runner, query: str, analyze: bool) -> None:
     print(f"   plan:  {info['plan']}")
     print(f"   rules: {', '.join(info['fired']) or '(none)'}")
     print(f"   cost:  {info['estimated_cost']:.1f}")
+    if info.get("cost_counters"):
+        parts = ", ".join(
+            f"{k.removeprefix('cost.')}={v}"
+            for k, v in sorted(info["cost_counters"].items())
+        )
+        print(f"   est:   {parts}")
     if not info["translated"]:
         print("   (already at the representation level; identity plan)")
     if analyze:
         print(f"   rows:  {info['rows']}")
+        for op, card in sorted(info.get("cardinality", {}).items()):
+            print(
+                f"   card:  {op:<14} est={card['estimated']} "
+                f"act={card['actual']} q={card['q_error']}"
+            )
         from repro.observe import ExecutionMetrics
 
         metrics = ExecutionMetrics()
@@ -148,12 +185,43 @@ def _explain(runner, query: str, analyze: bool) -> None:
         _print_metrics(metrics, info["timings"])
 
 
+def _print_stats(runner, name: str) -> None:
+    try:
+        entries = runner.stats(name)
+    except SOSError as exc:
+        print(f"error: {exc}")
+        return
+    if not entries:
+        print(f"   no statistics for {name} (run: analyze {name})")
+        return
+    for obj, d in entries.items():
+        stale = " (stale)" if d["stale"] else ""
+        print(
+            f"   {obj}: {d['row_count']} row(s), "
+            f"analyzed at {d['analyzed_rows']}{stale}"
+        )
+        if d.get("structure"):
+            shape = ", ".join(f"{k}={v}" for k, v in d["structure"].items())
+            print(f"     structure: {shape}")
+        for attr, a in d["attributes"].items():
+            key = " [key]" if attr == d.get("key_attr") else ""
+            hist = a.get("histogram")
+            buckets = f", {hist['buckets']} bucket(s)" if hist else ""
+            print(
+                f"     {attr}{key}: distinct={a['distinct']} "
+                f"min={a['min']} max={a['max']}{buckets}"
+            )
+        for pred, sel in d.get("observed", {}).items():
+            print(f"     observed {sel:.3f} for {pred}")
+
+
 def repl(
     model_only: bool,
     limits: tuple[int | None, int | None] = (None, None),
     trace: bool = False,
+    trace_json: str | None = None,
 ) -> int:
-    runner = _make_runner(model_only, limits, trace)
+    runner, exporter = _make_runner(model_only, limits, trace, trace_json)
     database = runner.database
     print("second-order signature system — \\q to quit")
     buffer: list[str] = []
@@ -178,12 +246,15 @@ def repl(
             # finish a statement still being typed before exiting
             flush()
             print()
+            _write_trace(exporter, trace_json)
             return 0
         except KeyboardInterrupt:
             print()
+            _write_trace(exporter, trace_json)
             return 0
         if line.strip() == "\\q":
             flush()
+            _write_trace(exporter, trace_json)
             return 0
         if line.strip() == "\\objects":
             for obj in database.objects.values():
@@ -203,6 +274,9 @@ def repl(
             continue
         if line.strip().startswith("\\explain ") and not model_only:
             _explain(runner, line.strip()[len("\\explain ") :], analyze=False)
+            continue
+        if line.strip().startswith("\\stats "):
+            _print_stats(runner, line.strip()[len("\\stats ") :].strip())
             continue
         # Indented lines continue the buffered statement; an unindented or
         # empty line first executes what is buffered.
@@ -232,6 +306,9 @@ def main(argv: list[str]) -> int:
     dump_to, argv, ok = _take_option(argv, "--dump")
     if not ok:
         return 2
+    trace_json, argv, ok = _take_option(argv, "--trace-json")
+    if not ok:
+        return 2
     limits = []
     for flag in ("--max-steps", "--max-depth"):
         raw, argv, ok = _take_option(argv, flag)
@@ -246,9 +323,10 @@ def main(argv: list[str]) -> int:
     files = [a for a in argv if not a.startswith("-")]
     if files:
         return run_file(
-            files[0], model_only, dump_to, (max_steps, max_depth), trace
+            files[0], model_only, dump_to, (max_steps, max_depth), trace,
+            trace_json,
         )
-    return repl(model_only, (max_steps, max_depth), trace)
+    return repl(model_only, (max_steps, max_depth), trace, trace_json)
 
 
 if __name__ == "__main__":

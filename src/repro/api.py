@@ -147,6 +147,30 @@ class Session:
         """Shorthand for ``session.tracer.subscribe(fn)``."""
         return self._tracer.subscribe(fn)
 
+    def set_feedback(self, enabled: bool = True) -> None:
+        """Toggle cardinality feedback (relational sessions; requires
+        tracing to also be on — see :meth:`SOSSystem.set_feedback`)."""
+        if self._system is not None:
+            self._system.set_feedback(enabled)
+
+    # ------------------------------------------------------------ statistics
+
+    def analyze(self, *names: str) -> SystemResult:
+        """Gather statistics for ``names`` (all scannable objects when
+        empty); shorthand for running an ``analyze`` statement."""
+        statement = "analyze " + ", ".join(names) if names else "analyze"
+        return self.run_one(statement)
+
+    def stats(self, name: str) -> dict:
+        """The statistics entries related to ``name`` (its own, or its
+        registered representations'), as plain dictionaries."""
+        from repro.stats.analyze import related_stats
+
+        return {
+            entry.name: entry.as_dict()
+            for entry in related_stats(self.database, name)
+        }
+
     # ------------------------------------------------------------ execution
 
     def run(self, source: str, atomic: bool = False) -> list[SystemResult]:

@@ -16,6 +16,7 @@ from repro.core.sos import SecondOrderSignature
 from repro.core.typecheck import TypeChecker
 from repro.core.types import Type, TypeApp, format_type, walk_type
 from repro.errors import CatalogError, ExecutionError
+from repro.stats.model import StatsCatalog
 from repro.testing.faults import fault_point
 
 
@@ -46,6 +47,9 @@ class Database:
         self.objects: dict[str, DatabaseObject] = {}
         self.typechecker = TypeChecker(sos, object_types=self.type_of)
         self.evaluator = Evaluator(algebra, resolver=self.value_of)
+        #: The statistics catalog (``analyze`` statement, cost model,
+        #: cardinality feedback).  Empty until the first ``analyze``.
+        self.stats = StatsCatalog()
         #: The active :class:`~repro.system.transactions.Transaction`, if any.
         #: Executors install it around statements; ``None`` between them.
         self.transaction = None
@@ -81,6 +85,7 @@ class Database:
         if name not in self.objects:
             raise CatalogError(f"no such object: {name}")
         del self.objects[name]
+        self.stats.discard(name)
 
     def value_of(self, name: str):
         obj = self.objects.get(name)
@@ -98,6 +103,11 @@ class Database:
             raise CatalogError(f"no such object: {name}")
         self.algebra.require_value(value, obj.type)
         obj.value = value
+        if self.stats.entries and name in self.stats.entries:
+            try:
+                self.stats.note_rowcount(name, len(value))
+            except TypeError:
+                pass  # unsized value: the analyzed count stands
 
     def has_object(self, name: str) -> bool:
         return name in self.objects

@@ -34,6 +34,7 @@ from repro.errors import (
     wrap_statement_error,
 )
 from repro.lang.parser import (
+    AnalyzeStmt,
     CreateStmt,
     DeleteStmt,
     Parser,
@@ -48,7 +49,7 @@ from repro.lang.parser import (
 class StatementResult:
     """The outcome of executing one statement."""
 
-    kind: str  # 'type' | 'create' | 'update' | 'delete' | 'query'
+    kind: str  # 'type' | 'create' | 'update' | 'delete' | 'query' | 'analyze'
     name: Optional[str] = None
     type: Optional[Type] = None
     value: object = None
@@ -133,6 +134,11 @@ class Interpreter:
             if isinstance(value, Stream):
                 value = value.materialize()
             return StatementResult("query", type=term.type, value=value, term=term)
+        if isinstance(statement, AnalyzeStmt):
+            from repro.stats.analyze import analyze_objects
+
+            summary = analyze_objects(self.database, statement.names or None)
+            return StatementResult("analyze", value=summary)
         raise TypeError(f"not a statement: {statement!r}")
 
     def _auto_initialize(self, name: str, declared: Type) -> None:

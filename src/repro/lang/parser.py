@@ -62,7 +62,7 @@ from repro.core.types import (
 from repro.errors import ParseError
 from repro.lang.lexer import Token, tokenize
 
-STATEMENT_KEYWORDS = ("type", "create", "update", "delete", "query")
+STATEMENT_KEYWORDS = ("type", "create", "update", "delete", "query", "analyze")
 
 _SYMBOL_PRECEDENCE = {
     "or": 1,
@@ -121,7 +121,16 @@ class QueryStmt:
     source: str = ""
 
 
-Statement = TypeStmt | CreateStmt | UpdateStmt | DeleteStmt | QueryStmt
+@dataclass(slots=True)
+class AnalyzeStmt:
+    """``analyze`` or ``analyze name, name`` — gather statistics for the
+    named objects (all scannable objects when no names are given)."""
+
+    names: tuple[str, ...] = ()
+    source: str = ""
+
+
+Statement = TypeStmt | CreateStmt | UpdateStmt | DeleteStmt | QueryStmt | AnalyzeStmt
 
 
 def split_statements(source: str) -> list[str]:
@@ -243,6 +252,15 @@ class Parser:
             expr = self.parse_expr_tokens()
             self._finish(text)
             return QueryStmt(expr, source=text)
+        if tok.text == "analyze":
+            names: list[str] = []
+            if not self._at_end():
+                names.append(self._name("object name"))
+                while self._peek().text == ",":
+                    self._next()
+                    names.append(self._name("object name"))
+            self._finish(text)
+            return AnalyzeStmt(tuple(names), source=text)
         raise ParseError(
             f"expected a statement keyword, got {tok}", tok.line, tok.column
         )

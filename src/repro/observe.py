@@ -30,6 +30,7 @@ and ``explain(..., analyze=True)``.
 
 from __future__ import annotations
 
+import json
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
@@ -39,6 +40,11 @@ ENABLED = False
 """True while an :class:`ExecutionMetrics` is armed (fast-path guard)."""
 
 _ACTIVE: Optional["ExecutionMetrics"] = None
+
+_ARMED: list["ExecutionMetrics"] = []
+"""The stack of armed sinks; the top one is :data:`_ACTIVE`.  Kept as an
+explicit stack so :func:`collecting` scopes can exit in any order (e.g.
+interleaved generators) without clobbering each other's state."""
 
 
 # ---------------------------------------------------------------------------
@@ -125,6 +131,60 @@ class Tracer:
 # ---------------------------------------------------------------------------
 
 
+class Histogram:
+    """A value-distribution counter: records observations, reports
+    min/max/mean and interpolated percentiles.
+
+    Stores the raw observations (statements observe at most a few thousand
+    values — latencies, per-probe row counts), so percentiles are exact
+    rather than bucketed.
+    """
+
+    __slots__ = ("values",)
+
+    def __init__(self) -> None:
+        self.values: list[float] = []
+
+    def record(self, value: float) -> None:
+        self.values.append(float(value))
+
+    @property
+    def count(self) -> int:
+        return len(self.values)
+
+    def percentile(self, q: float) -> float:
+        """The ``q``-th percentile (0..100), linearly interpolated."""
+        if not self.values:
+            raise ValueError("empty histogram has no percentiles")
+        if not 0.0 <= q <= 100.0:
+            raise ValueError(f"percentile out of range: {q}")
+        ordered = sorted(self.values)
+        if len(ordered) == 1:
+            return ordered[0]
+        rank = (q / 100.0) * (len(ordered) - 1)
+        low = int(rank)
+        frac = rank - low
+        if low + 1 >= len(ordered):
+            return ordered[-1]
+        return ordered[low] + (ordered[low + 1] - ordered[low]) * frac
+
+    def as_dict(self) -> dict:
+        if not self.values:
+            return {"count": 0}
+        return {
+            "count": len(self.values),
+            "min": min(self.values),
+            "max": max(self.values),
+            "mean": sum(self.values) / len(self.values),
+            "p50": self.percentile(50),
+            "p95": self.percentile(95),
+            "p99": self.percentile(99),
+        }
+
+    def __repr__(self) -> str:
+        return f"<Histogram n={len(self.values)}>"
+
+
 class ExecutionMetrics:
     """Counters collected over one statement (or any :func:`collecting`
     scope).
@@ -140,12 +200,13 @@ class ExecutionMetrics:
     statement, filled in by the system front end.
     """
 
-    __slots__ = ("operators", "counters", "io")
+    __slots__ = ("operators", "counters", "io", "histograms")
 
     def __init__(self) -> None:
         self.operators: dict[str, dict[str, int]] = {}
         self.counters: dict[str, int] = {}
         self.io: dict[str, int] = {}
+        self.histograms: dict[str, Histogram] = {}
 
     # ---- hot-path recording (only reached while ENABLED)
 
@@ -172,6 +233,13 @@ class ExecutionMetrics:
     def incr(self, name: str, value: int = 1) -> None:
         self.counters[name] = self.counters.get(name, 0) + value
 
+    def record(self, name: str, value: float) -> None:
+        """Add one observation to the named :class:`Histogram`."""
+        hist = self.histograms.get(name)
+        if hist is None:
+            hist = self.histograms[name] = Histogram()
+        hist.record(value)
+
     # ---- reporting
 
     def tuples_out(self, op: str) -> int:
@@ -179,11 +247,16 @@ class ExecutionMetrics:
         return slot["out"] if slot else 0
 
     def as_dict(self) -> dict:
-        return {
+        d = {
             "operators": {op: dict(slot) for op, slot in self.operators.items()},
             "counters": dict(self.counters),
             "io": dict(self.io),
         }
+        if self.histograms:
+            d["histograms"] = {
+                name: hist.as_dict() for name, hist in self.histograms.items()
+            }
+        return d
 
     def __repr__(self) -> str:
         ops = ", ".join(
@@ -208,23 +281,119 @@ def incr(name: str, value: int = 1) -> None:
         sink.counters[name] = sink.counters.get(name, 0) + value
 
 
+def record(name: str, value: float) -> None:
+    """Add one observation to a named histogram on the active sink
+    (no-op when disarmed).  Same guard discipline as :func:`incr`."""
+    sink = _ACTIVE
+    if sink is not None:
+        sink.record(name, value)
+
+
 @contextmanager
 def collecting(metrics: Optional[ExecutionMetrics] = None) -> Iterator[ExecutionMetrics]:
     """Arm ``metrics`` (a fresh sink by default) as the active collector.
 
-    Nests: the previous sink is restored on exit, so a traced statement that
-    internally runs another statement keeps its own counters.
+    Fully reentrant: scopes nest, and — because generators can suspend a
+    scope and finalize later — they may also *exit out of order*.  Each
+    exit removes its own sink from the armed stack (by identity, innermost
+    occurrence first) and recomputes the active sink from whatever remains,
+    so a stale exit never clobbers a scope armed after it.
     """
     global _ACTIVE, ENABLED
     sink = metrics if metrics is not None else ExecutionMetrics()
-    previous = _ACTIVE
+    _ARMED.append(sink)
     _ACTIVE = sink
     ENABLED = True
     try:
         yield sink
     finally:
-        _ACTIVE = previous
-        ENABLED = previous is not None
+        for i in range(len(_ARMED) - 1, -1, -1):
+            if _ARMED[i] is sink:
+                del _ARMED[i]
+                break
+        _ACTIVE = _ARMED[-1] if _ARMED else None
+        ENABLED = _ACTIVE is not None
+
+
+# ---------------------------------------------------------------------------
+# Trace export
+# ---------------------------------------------------------------------------
+
+
+class ChromeTraceExporter:
+    """A :class:`Tracer` subscriber that renders events in the Chrome trace
+    event format (``chrome://tracing`` / Perfetto ``about:tracing`` JSON).
+
+    Subscribe it to a tracer, run statements, then :meth:`write` (or
+    :meth:`to_json`) the collected events::
+
+        exporter = ChromeTraceExporter()
+        session.subscribe(exporter)
+        ...
+        exporter.write("trace.json")
+
+    Span ``begin``/``end`` events map to ``ph: "B"``/``"E"`` duration
+    events; point events map to ``ph: "i"`` instants.  Timestamps are
+    microseconds since the exporter was created.
+    """
+
+    __slots__ = ("events", "_origin", "pid", "tid")
+
+    def __init__(self, pid: int = 1, tid: int = 1) -> None:
+        self.events: list[dict] = []
+        self._origin = time.perf_counter()
+        self.pid = pid
+        self.tid = tid
+
+    def __call__(self, event: Event) -> None:
+        ph = {"begin": "B", "end": "E"}.get(event.kind, "i")
+        record: dict = {
+            "name": event.name,
+            "ph": ph,
+            "ts": (time.perf_counter() - self._origin) * 1e6,
+            "pid": self.pid,
+            "tid": self.tid,
+        }
+        if ph == "i":
+            record["s"] = "t"  # thread-scoped instant
+        args = {k: _jsonable(v) for k, v in event.data.items()}
+        if event.kind == "end":
+            args["duration_ms"] = event.value * 1000.0
+        elif event.kind == "counter" and event.value:
+            args["value"] = event.value
+        if args:
+            record["args"] = args
+        self.events.append(record)
+
+    def to_json(self) -> str:
+        return json.dumps(
+            {"traceEvents": self.events, "displayTimeUnit": "ms"}, indent=1
+        )
+
+    def write(self, path: str) -> None:
+        with open(path, "w") as f:
+            f.write(self.to_json())
+
+    def __repr__(self) -> str:
+        return f"<ChromeTraceExporter events={len(self.events)}>"
+
+
+def _jsonable(value):
+    """Event payloads may carry live objects (metrics, terms); flatten them
+    to something ``json.dumps`` accepts."""
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    as_dict = getattr(value, "as_dict", None)
+    if as_dict is not None:
+        try:
+            return as_dict()
+        except Exception:
+            return repr(value)
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    return repr(value)
 
 
 # ---------------------------------------------------------------------------

@@ -102,6 +102,32 @@ class TypeCondition(Condition):
 
 
 @dataclass(slots=True)
+class StatsCondition(Condition):
+    """``stats(v) |= p`` — consult the statistics catalog entry of the
+    object bound to ``v`` (paper Section 6: catalog facts guarding rules,
+    here extended to gathered statistics).
+
+    The predicate receives the object's
+    :class:`~repro.stats.model.RelationStats` entry — or ``None`` when the
+    object was never analyzed, so predicates decide whether missing
+    statistics are acceptable.
+    """
+
+    variable: str
+    predicate: Callable
+    description: str = ""
+
+    def solutions(self, state: MatchState, db) -> Iterator[MatchState]:
+        name = _bound_name(state, self.variable)
+        if name is None:
+            return
+        stats = getattr(db, "stats", None)
+        entry = stats.get(name) if stats is not None else None
+        if self.predicate(entry):
+            yield state
+
+
+@dataclass(slots=True)
 class FunCondition(Condition):
     """An arbitrary predicate / generator over the match state.
 

@@ -1,29 +1,49 @@
-"""A simple structural cost model for representation-level plans.
+"""A statistics-aware structural cost model for representation-level plans.
 
 [BeG92]'s Gral optimizer applies rules heuristically, in step order; a
 natural refinement (and our ablation subject) is choosing among *all*
-applicable rewrites by estimated cost.  The model here is deliberately
-simple — textbook selectivity constants over actual structure sizes from
-the database — but it is enough to rank scan plans against index plans
-correctly, which is all the standard rules need.
-
-``estimate(term, db)`` returns ``(cost, cardinality)``:
+applicable rewrites by estimated cost.  The model prices each plan node
+with ``(cost, output cardinality)``:
 
 * ``feed(rep)`` — cost = size of the structure, cardinality = size;
-* ``range``/``prefix`` — logarithmic descent + 10 % of the structure;
-* ``exact`` — logarithmic descent + 1 %;
+* ``range``/``prefix`` — logarithmic descent + the selected fraction;
+* ``exact`` — logarithmic descent + the matching fraction;
 * ``point_search``/``overlap_search`` — logarithmic + 5 %;
-* ``filter[p]`` — input cost + one predicate evaluation per input tuple,
-  cardinality 1/3 of the input;
+* ``filter[p]`` — input cost + one predicate evaluation per input tuple;
 * ``search_join`` — outer cost + outer cardinality × inner-function cost;
+* ``merge_join``/``hash_join`` — sort/build-probe passes over both sides;
 * everything else — sum of the argument costs.
+
+Selectivities prefer the statistics catalog (``db.stats``, populated by
+the ``analyze`` statement — see :mod:`repro.stats`) and fall back to the
+textbook constants below when no statistics exist.  The preference order
+for a filter predicate is: *observed* selectivity (cardinality feedback
+from a previous execution) > histogram estimate > sample (only with
+``sample=True``) > constant.  Every stats consultation bumps a
+``cost.stats_hit`` / ``cost.stats_miss`` observe counter, and every silent
+sample fallback bumps ``cost.sample_fallback`` — so ``explain`` can report
+what the estimate was actually based on.
 """
 
 from __future__ import annotations
 
 import math
+from typing import Optional
 
-from repro.core.terms import Apply, Call, Fun, ListTerm, ObjRef, Term, TupleTerm, Var
+from repro import observe
+from repro.core.terms import (
+    Apply,
+    Call,
+    Fun,
+    ListTerm,
+    Literal,
+    ObjRef,
+    Term,
+    TupleTerm,
+    Var,
+    format_term,
+)
+from repro.core.types import Sym
 
 DEFAULT_SIZE = 1000.0
 FILTER_SELECTIVITY = 1 / 3
@@ -34,17 +54,30 @@ MODEL_OP_PENALTY = 1e12
 """Model-level operators are not executable plans; anything containing one
 must lose against any fully translated plan."""
 
+_COMPARISONS = {"=", "!=", "<", "<=", ">", ">="}
+_OPEN_BOUNDS = {"bottom", "top"}
+
 
 def estimate(term: Term, db, sample: bool = False) -> float:
     """Estimated cost of a (typechecked) plan.
 
-    With ``sample=True``, filter selectivities are estimated by evaluating
-    the predicate on a small sample of the underlying structure instead of
-    using the textbook constant — data-aware costing, at the price of a few
-    predicate evaluations per estimate.
+    With ``sample=True``, filter selectivities without catalog statistics
+    are estimated by evaluating the predicate on a small sample of the
+    underlying structure instead of using the textbook constant.
     """
-    cost, _ = _walk(term, db, sample)
-    return cost
+    return CostModel(db, sample=sample).estimate(term)
+
+
+def estimate_with_cardinalities(
+    term: Term, db, sample: bool = False
+) -> tuple[float, dict[str, float]]:
+    """Like :func:`estimate`, additionally returning the estimated output
+    cardinality per operator name (summed over occurrences, scaled by the
+    number of probes for operators inside a ``search_join`` inner function)
+    — the estimate side of the cardinality-feedback report."""
+    model = CostModel(db, sample=sample)
+    cost = model.estimate(term)
+    return cost, model.cardinalities
 
 
 SAMPLE_SIZE = 50
@@ -52,136 +85,373 @@ SAMPLE_SIZE = 50
 
 def sampled_selectivity(pred_term, source_term, db) -> float:
     """Fraction of a small sample of ``source_term``'s structure that
-    satisfies the predicate; falls back to the textbook constant."""
+    satisfies the predicate; falls back to the textbook constant.
+
+    Every fallback (wrong shapes, missing structure, empty or failing
+    sample) bumps the ``cost.sample_fallback`` observe counter so the
+    silent degradation is visible in ``explain`` output.
+    """
     from itertools import islice
 
     from repro.core.algebra import Closure
-    from repro.core.terms import Fun
 
     if not isinstance(pred_term, Fun) or not isinstance(source_term, (Var, ObjRef)):
-        return FILTER_SELECTIVITY
+        return _sample_fallback()
     obj = db.objects.get(source_term.name)
     if obj is None or obj.value is None or not hasattr(obj.value, "scan"):
-        return FILTER_SELECTIVITY
+        return _sample_fallback()
     try:
         closure = Closure(pred_term, {}, db.evaluator)
         rows = list(islice(obj.value.scan(), SAMPLE_SIZE))
         if not rows:
-            return FILTER_SELECTIVITY
+            return _sample_fallback()
         hits = sum(1 for row in rows if closure(row))
         return max(0.01, hits / len(rows))
     except Exception:
+        return _sample_fallback()
+
+
+def _sample_fallback() -> float:
+    if observe.ENABLED:
+        observe.incr("cost.sample_fallback")
+    return FILTER_SELECTIVITY
+
+
+class CostModel:
+    """One estimate pass: walks a plan term, consulting ``db.stats``.
+
+    ``cardinalities`` accumulates the estimated output rows per operator
+    name as the walk proceeds (``scale`` multiplies cardinalities inside
+    ``search_join`` inner functions by the estimated number of probes, so
+    totals line up with what :class:`~repro.observe.ExecutionMetrics`
+    counts across the whole statement).
+    """
+
+    def __init__(self, db, sample: bool = False):
+        self.db = db
+        self.stats = getattr(db, "stats", None)
+        self.sample = sample
+        self.cardinalities: dict[str, float] = {}
+
+    def estimate(self, term: Term) -> float:
+        cost, _ = self._walk(term, 1.0)
+        return cost
+
+    # ------------------------------------------------------------ stats access
+
+    def _entry(self, term: Term):
+        """The stats entry for a structure-naming term, or None."""
+        if self.stats is None or not isinstance(term, (Var, ObjRef)):
+            return None
+        entry = self.stats.get(term.name)
+        if observe.ENABLED:
+            observe.incr("cost.stats_hit" if entry is not None else "cost.stats_miss")
+        return entry
+
+    def _structure_size(self, term: Term) -> float:
+        entry = self._entry(term)
+        if entry is not None:
+            return float(entry.row_count)
+        if isinstance(term, (Var, ObjRef)):
+            obj = self.db.objects.get(term.name)
+            if obj is not None and obj.value is not None:
+                try:
+                    return float(len(obj.value))
+                except TypeError:
+                    return DEFAULT_SIZE
+        return DEFAULT_SIZE
+
+    # ------------------------------------------------------------------ walk
+
+    def _walk(self, term: Term, scale: float) -> tuple[float, float]:
+        """Returns (cost, output cardinality)."""
+        if isinstance(term, (Var, ObjRef)):
+            return 0.0, self._structure_size(term)
+        if isinstance(term, Fun):
+            return self._walk(term.body, scale)
+        if isinstance(term, Call):
+            cost, card = self._walk(term.fn, scale)
+            for a in term.args:
+                c, _ = self._walk(a, scale)
+                cost += c
+            return cost, card
+        if isinstance(term, (ListTerm, TupleTerm)):
+            total = 0.0
+            for item in term.items:
+                c, _ = self._walk(item, scale)
+                total += c
+            return total, 1.0
+        if not isinstance(term, Apply):
+            return 0.0, 1.0
+        return self._apply(term, scale)
+
+    def _record(self, op: str, card: float, scale: float) -> None:
+        self.cardinalities[op] = self.cardinalities.get(op, 0.0) + card * scale
+
+    def _apply(self, term: Apply, scale: float) -> tuple[float, float]:
+        op = term.op
+        spec = term.resolved.spec if term.resolved is not None else None
+        level = spec.level if spec is not None else "hybrid"
+        if op == "feed":
+            size = self._structure_size(term.args[0])
+            self._record(op, size, scale)
+            return size, size
+        if op in ("range", "prefix"):
+            size = self._structure_size(term.args[0])
+            card = max(1.0, self._range_selectivity(term) * size)
+            self._record(op, card, scale)
+            return math.log2(size + 2) + card, card
+        if op == "exact":
+            size = self._structure_size(term.args[0])
+            card = max(1.0, self._exact_selectivity(term) * size)
+            self._record(op, card, scale)
+            return math.log2(size + 2) + card, card
+        if op in ("point_search", "overlap_search"):
+            size = self._structure_size(term.args[0])
+            card = max(1.0, SPATIAL_SELECTIVITY * size)
+            self._record(op, card, scale)
+            return math.log2(size + 2) + card, card
+        if op == "filter":
+            in_cost, in_card = self._walk(term.args[0], scale)
+            pred_cost, _ = self._walk(term.args[1], scale)
+            selectivity = self._filter_selectivity(term)
+            card = in_card * selectivity
+            self._record(op, card, scale)
+            return in_cost + in_card * (1 + pred_cost), card
+        if op in ("project", "replace"):
+            in_cost, in_card = self._walk(term.args[0], scale)
+            self._record(op, in_card, scale)
+            return in_cost + in_card, in_card
+        if op == "head":
+            in_cost, in_card = self._walk(term.args[0], scale)
+            n = 10.0
+            if isinstance(term.args[1], Literal) and isinstance(
+                term.args[1].value, int
+            ):
+                n = float(term.args[1].value)
+            card = min(in_card, n)
+            self._record(op, card, scale)
+            return min(in_cost, card * 2), card
+        if op == "search_join":
+            outer_cost, outer_card = self._walk(term.args[0], scale)
+            probes = scale * max(outer_card, 1.0)
+            inner_cost, inner_card = self._walk(term.args[1], probes)
+            card = outer_card * inner_card
+            self._record(op, card, scale)
+            return outer_cost + outer_card * inner_cost, card
+        if op == "merge_join":
+            l_cost, l_card = self._walk(term.args[0], scale)
+            r_cost, r_card = self._walk(term.args[1], scale)
+            sort = l_card * math.log2(l_card + 2) + r_card * math.log2(r_card + 2)
+            card = self._join_cardinality(term, l_card, r_card)
+            self._record(op, card, scale)
+            return l_cost + r_cost + sort, card
+        if op == "hash_join":
+            l_cost, l_card = self._walk(term.args[0], scale)
+            r_cost, r_card = self._walk(term.args[1], scale)
+            # one build pass + one probe pass; no sorting
+            card = self._join_cardinality(term, l_card, r_card)
+            self._record(op, card, scale)
+            return l_cost + r_cost + l_card + r_card, card
+        if op == "collect":
+            in_cost, in_card = self._walk(term.args[0], scale)
+            self._record(op, in_card, scale)
+            return in_cost + in_card, in_card
+        if op == "count":
+            in_cost, in_card = self._walk(term.args[0], scale)
+            return in_cost + in_card, 1.0
+        # Model-level operators make a plan non-executable.
+        if level == "model":
+            total = MODEL_OP_PENALTY
+            for a in term.args:
+                c, _ = self._walk(a, scale)
+                total += c
+            return total, DEFAULT_SIZE
+        total = 0.0
+        card = 1.0
+        for a in term.args:
+            c, k = self._walk(a, scale)
+            total += c
+            card = max(card, k)
+        return total, card
+
+    # ----------------------------------------------------------- selectivity
+
+    def _range_selectivity(self, term: Apply) -> float:
+        """``range(bt, low, high)`` via the key attribute's histogram."""
+        entry = self._entry(term.args[0])
+        if entry is not None and entry.key_attr is not None:
+            attr = entry.attr(entry.key_attr)
+            if attr is not None and len(term.args) >= 3:
+                low = _bound_value(term.args[1])
+                high = _bound_value(term.args[2])
+                sel = attr.selectivity_range(low, high)
+                if sel is not None:
+                    return sel
+        return RANGE_SELECTIVITY
+
+    def _exact_selectivity(self, term: Apply) -> float:
+        """``exact(bt, k)`` via the key attribute's distinct count."""
+        entry = self._entry(term.args[0])
+        if entry is not None and entry.key_attr is not None:
+            attr = entry.attr(entry.key_attr)
+            if attr is not None:
+                probe = (
+                    term.args[1].value
+                    if len(term.args) > 1 and isinstance(term.args[1], Literal)
+                    else None
+                )
+                sel = attr.selectivity_eq(probe) if probe is not None else (
+                    1.0 / attr.distinct if attr.distinct > 0 else None
+                )
+                if sel is not None:
+                    return sel
+        return EXACT_SELECTIVITY
+
+    def _filter_selectivity(self, term: Apply) -> float:
+        """Preference order: observed feedback > histogram > sample >
+        textbook constant."""
+        source, pred = term.args[0], term.args[1]
+        base = _base_structure(source)
+        entry = self._entry(base) if base is not None else None
+        if entry is not None:
+            observed = entry.observed.get(format_term(pred))
+            if observed is not None:
+                return max(0.0, min(1.0, observed))
+            # Histogram estimates are fractions of the whole structure, so
+            # they only price a filter over an unrestricted feed.
+            if (
+                isinstance(source, Apply)
+                and source.op == "feed"
+                and isinstance(pred, Fun)
+            ):
+                parsed = _parse_comparison(pred)
+                if parsed is not None:
+                    sel = self._comparison_selectivity(entry, *parsed)
+                    if sel is not None:
+                        return sel
+        if (
+            self.sample
+            and isinstance(source, Apply)
+            and source.op == "feed"
+            and source.args
+        ):
+            return sampled_selectivity(pred, source.args[0], self.db)
         return FILTER_SELECTIVITY
 
+    def _comparison_selectivity(
+        self, entry, attr_name: str, op: str, value
+    ) -> Optional[float]:
+        attr = entry.attr(attr_name)
+        if attr is None:
+            return None
+        if op == "=":
+            return attr.selectivity_eq(value)
+        if op == "!=":
+            eq = attr.selectivity_eq(value)
+            return None if eq is None else max(0.0, 1.0 - eq)
+        if op in ("<", "<="):
+            return attr.selectivity_range(None, value)
+        if op in (">", ">="):
+            return attr.selectivity_range(value, None)
+        return None
 
-def _structure_size(term: Term, db) -> float:
+    def _join_cardinality(self, term: Apply, l_card: float, r_card: float) -> float:
+        """Equi-join output via distinct counts (``l*r / max(d1, d2)``),
+        falling back to the old ``max`` heuristic without statistics."""
+        if len(term.args) >= 4:
+            d1 = self._side_distinct(term.args[0], term.args[2])
+            d2 = self._side_distinct(term.args[1], term.args[3])
+            if d1 is not None or d2 is not None:
+                d = max(d1 or 1.0, d2 or 1.0)
+                return max(1.0, l_card * r_card / d)
+        return max(l_card, r_card)
+
+    def _side_distinct(self, side: Term, attr_term: Term) -> Optional[float]:
+        base = _base_structure(side)
+        if base is None:
+            return None
+        entry = self._entry(base)
+        if entry is None:
+            return None
+        attr_name = _attr_name(attr_term)
+        if attr_name is None:
+            return None
+        attr = entry.attr(attr_name)
+        if attr is None or attr.distinct <= 0:
+            return None
+        return float(attr.distinct)
+
+
+# ---------------------------------------------------------------------------
+# Term-shape helpers
+# ---------------------------------------------------------------------------
+
+
+def _base_structure(term: Term) -> Optional[Term]:
+    """The structure-naming term a stream expression reads directly."""
     if isinstance(term, (Var, ObjRef)):
-        obj = db.objects.get(term.name)
-        if obj is not None and obj.value is not None:
-            try:
-                return float(len(obj.value))
-            except TypeError:
-                return DEFAULT_SIZE
-    return DEFAULT_SIZE
+        return term
+    if (
+        isinstance(term, Apply)
+        and term.op in ("feed", "range", "exact", "prefix")
+        and term.args
+    ):
+        first = term.args[0]
+        if isinstance(first, (Var, ObjRef)):
+            return first
+    return None
 
 
-def _walk(term: Term, db, sample: bool = False) -> tuple[float, float]:
-    """Returns (cost, output cardinality)."""
-    if isinstance(term, (Var, ObjRef)):
-        return 0.0, _structure_size(term, db)
-    if isinstance(term, Fun):
-        return _walk(term.body, db, sample)
-    if isinstance(term, Call):
-        cost, card = _walk(term.fn, db, sample)
-        for a in term.args:
-            c, _ = _walk(a, db, sample)
-            cost += c
-        return cost, card
-    if isinstance(term, (ListTerm, TupleTerm)):
-        total = 0.0
-        for item in term.items:
-            c, _ = _walk(item, db, sample)
-            total += c
-        return total, 1.0
-    if not isinstance(term, Apply):
-        return 0.0, 1.0
-    return _apply_cost(term, db, sample)
+def _bound_value(term: Term):
+    """A literal range bound; ``bottom``/``top`` (or anything non-literal)
+    is an open bound."""
+    if isinstance(term, Literal):
+        return term.value
+    return None
 
 
-def _apply_cost(term: Apply, db, sample: bool = False) -> tuple[float, float]:
-    op = term.op
-    spec = term.resolved.spec if term.resolved is not None else None
-    level = spec.level if spec is not None else "hybrid"
-    if op == "feed":
-        size = _structure_size(term.args[0], db)
-        return size, size
-    if op in ("range", "prefix"):
-        size = _structure_size(term.args[0], db)
-        card = max(1.0, RANGE_SELECTIVITY * size)
-        return math.log2(size + 2) + card, card
-    if op == "exact":
-        size = _structure_size(term.args[0], db)
-        card = max(1.0, EXACT_SELECTIVITY * size)
-        return math.log2(size + 2) + card, card
-    if op in ("point_search", "overlap_search"):
-        size = _structure_size(term.args[0], db)
-        card = max(1.0, SPATIAL_SELECTIVITY * size)
-        return math.log2(size + 2) + card, card
-    if op == "filter":
-        in_cost, in_card = _walk(term.args[0], db, sample)
-        pred_cost, _ = _walk(term.args[1], db, sample)
-        selectivity = FILTER_SELECTIVITY
-        if (
-            sample
-            and isinstance(term.args[0], Apply)
-            and term.args[0].op == "feed"
-            and term.args[0].args
-        ):
-            selectivity = sampled_selectivity(term.args[1], term.args[0].args[0], db)
-        return in_cost + in_card * (1 + pred_cost), in_card * selectivity
-    if op in ("project", "replace"):
-        in_cost, in_card = _walk(term.args[0], db, sample)
-        return in_cost + in_card, in_card
-    if op == "head":
-        from repro.core.terms import Literal
+def _attr_name(term: Term) -> Optional[str]:
+    """The attribute name in a join attribute descriptor (``Var`` from the
+    concrete syntax, ``Literal(Sym)`` from rule instantiation, or an
+    attribute-access ``Apply``)."""
+    if isinstance(term, Var):
+        return term.name
+    if isinstance(term, Literal) and isinstance(term.value, Sym):
+        return term.value.name
+    if isinstance(term, Apply) and not term.args:
+        return term.op
+    return None
 
-        in_cost, in_card = _walk(term.args[0], db, sample)
-        n = 10.0
-        if isinstance(term.args[1], Literal) and isinstance(term.args[1].value, int):
-            n = float(term.args[1].value)
-        card = min(in_card, n)
-        return min(in_cost, card * 2), card
-    if op == "search_join":
-        outer_cost, outer_card = _walk(term.args[0], db, sample)
-        inner_cost, inner_card = _walk(term.args[1], db, sample)
-        return outer_cost + outer_card * inner_cost, outer_card * inner_card
-    if op == "merge_join":
-        l_cost, l_card = _walk(term.args[0], db, sample)
-        r_cost, r_card = _walk(term.args[1], db, sample)
-        sort = l_card * math.log2(l_card + 2) + r_card * math.log2(r_card + 2)
-        return l_cost + r_cost + sort, max(l_card, r_card)
-    if op == "hash_join":
-        l_cost, l_card = _walk(term.args[0], db, sample)
-        r_cost, r_card = _walk(term.args[1], db, sample)
-        # one build pass + one probe pass; no sorting
-        return l_cost + r_cost + l_card + r_card, max(l_card, r_card)
-    if op == "collect":
-        in_cost, in_card = _walk(term.args[0], db, sample)
-        return in_cost + in_card, in_card
-    if op == "count":
-        in_cost, in_card = _walk(term.args[0], db, sample)
-        return in_cost + in_card, 1.0
-    # Model-level operators make a plan non-executable.
-    if level == "model":
-        total = MODEL_OP_PENALTY
-        for a in term.args:
-            c, _ = _walk(a, db, sample)
-            total += c
-        return total, DEFAULT_SIZE
-    total = 0.0
-    card = 1.0
-    for a in term.args:
-        c, k = _walk(a, db, sample)
-        total += c
-        card = max(card, k)
-    return total, card
+
+def _parse_comparison(pred: Fun) -> Optional[tuple[str, str, object]]:
+    """``fun (t) (t attr) op literal`` (either side) -> (attr, op, value)."""
+    if len(pred.params) != 1 or not isinstance(pred.body, Apply):
+        return None
+    body = pred.body
+    if body.op not in _COMPARISONS or len(body.args) != 2:
+        return None
+    param = pred.params[0][0]
+    left, right = body.args
+    attr = _attr_access(left, param)
+    if attr is not None and isinstance(right, Literal):
+        return attr, body.op, right.value
+    attr = _attr_access(right, param)
+    if attr is not None and isinstance(left, Literal):
+        return attr, _flip(body.op), left.value
+    return None
+
+
+def _attr_access(term: Term, param: str) -> Optional[str]:
+    if (
+        isinstance(term, Apply)
+        and len(term.args) == 1
+        and isinstance(term.args[0], Var)
+        and term.args[0].name == param
+    ):
+        return term.op
+    return None
+
+
+def _flip(op: str) -> str:
+    return {"<": ">", "<=": ">=", ">": "<", ">=": "<="}.get(op, op)

@@ -26,7 +26,12 @@ from __future__ import annotations
 from repro.core.patterns import PApp, PVar
 from repro.core.terms import Apply, Call, Fun, Literal, Var
 from repro.core.types import Sym, TypeApp
-from repro.optimizer.conditions import CatalogCondition, FunCondition, TypeCondition
+from repro.optimizer.conditions import (
+    CatalogCondition,
+    FunCondition,
+    StatsCondition,
+    TypeCondition,
+)
 from repro.optimizer.engine import Optimizer, OptimizerStep
 from repro.optimizer.rules import RewriteRule, rule_vars
 from repro.optimizer.termmatch import RuleVar, TypeVar
@@ -239,6 +244,72 @@ def equi_join_hash_rule() -> RewriteRule:
     """``join[a1 = a2]`` becomes a hash join — the alternative the
     cost-based strategy chooses between."""
     return _equi_join_rule("hash_join")
+
+
+def _join_attr_is_inner_key(state, db) -> bool:
+    # Attribute rule variables (fun_args/fun_result) bind the operator
+    # symbol into tbinds.
+    a2 = state.tbinds.get("a2")
+    key_attr = state.tbinds.get("attr2")
+    if isinstance(a2, Sym):
+        return a2 == key_attr
+    return False
+
+
+def equi_join_index_rule() -> RewriteRule:
+    """``join[a1 = a2]`` becomes an index nested-loop join when the inner
+    relation has a B-tree keyed on the join attribute: feed the outer side
+    and probe the B-tree with ``exact`` per outer tuple.
+
+    Listed after the merge/hash alternatives, so first-match never picks it;
+    the cost-based strategy does — and only gets it right with statistics:
+    under the textbook 1 %-per-probe constant the repeated descent looks
+    more expensive than a hash join, while an analyzed near-unique key makes
+    each probe ~1 row and the index plan the cheapest.  Stale statistics
+    (row count drifted past the threshold since ``analyze``) withdraw the
+    candidate rather than argue from outdated distinct counts.
+    """
+    pred = Fun(
+        (("t1", T1), ("t2", T2)),
+        Apply("=", (Apply("a1", (Var("t1"),)), Apply("a2", (Var("t2"),)))),
+    )
+    rhs = Apply(
+        "search_join",
+        (
+            Apply("feed", (Var("rep1"),)),
+            Fun(
+                (("t1", T1),),
+                Apply("exact", (Var("bt2"), Apply("a1", (Var("t1"),)))),
+            ),
+        ),
+    )
+    return RewriteRule(
+        name="equi_join_index",
+        variables=rule_vars(
+            REL1,
+            REL2,
+            RuleVar("a1", fun_args=(T1,), fun_result=TypeVar("dtype")),
+            RuleVar("a2", fun_args=(T2,), fun_result=TypeVar("dtype")),
+        ),
+        lhs=Apply("join", (Var("rel1"), Var("rel2"), pred)),
+        rhs=rhs,
+        conditions=(
+            REP_REL1,
+            RELREP1,
+            CatalogCondition(REP_CATALOG, ("rel2", "bt2")),
+            TypeCondition(
+                "bt2",
+                PApp("btree", (PVar("tuple2"), PVar("attr2"), PVar("dtype"))),
+            ),
+            FunCondition(_join_attr_is_inner_key, "a2 is the inner B-tree key"),
+            StatsCondition(
+                "bt2",
+                lambda entry: entry is None or not entry.stale,
+                "inner index statistics are missing or fresh",
+            ),
+        ),
+        doc="equality join -> repeated exact search on the inner B-tree",
+    )
 
 
 def join_scan_rule() -> RewriteRule:
@@ -596,6 +667,7 @@ def query_rules() -> list[RewriteRule]:
         spatial_join_rule(),
         equi_join_rule(),
         equi_join_hash_rule(),
+        equi_join_index_rule(),
         *nested_join_rules(),
         select_between_rule(),
         *select_index_rules(),

@@ -1,0 +1,28 @@
+"""Statistics catalog, ``analyze`` computation, and cardinality feedback.
+
+See :mod:`repro.stats.model` for the catalog data model,
+:mod:`repro.stats.analyze` for the ``analyze`` statement's computation, and
+:mod:`repro.stats.feedback` for estimated-vs-actual cardinality reports.
+"""
+
+from repro.stats.analyze import analyze_objects, analyze_value, related_stats
+from repro.stats.feedback import cardinality_report, fold_observed, q_error
+from repro.stats.model import (
+    AttributeStats,
+    EquiDepthHistogram,
+    RelationStats,
+    StatsCatalog,
+)
+
+__all__ = [
+    "AttributeStats",
+    "EquiDepthHistogram",
+    "RelationStats",
+    "StatsCatalog",
+    "analyze_objects",
+    "analyze_value",
+    "related_stats",
+    "cardinality_report",
+    "fold_observed",
+    "q_error",
+]

@@ -1,0 +1,108 @@
+"""Cardinality feedback: estimated vs. actual per-operator row counts.
+
+The cost model prices each plan node with an output cardinality; execution
+(with collection armed) counts what each operator actually produced.  This
+module joins the two into a per-operator report with the standard *q-error*
+(``max(est/act, act/est)``, floored at 1) — the metric the estimator is
+judged by — and can fold observed filter selectivities back into the
+statistics catalog so the next estimate of the same predicate uses what the
+last execution measured.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.terms import Apply, Call, Fun, ListTerm, ObjRef, Term, TupleTerm, Var
+from repro.core.terms import format_term
+
+
+def q_error(estimated: float, actual: float) -> float:
+    """``max(est/act, act/est)`` with both sides floored at one row, so a
+    perfect estimate scores 1.0 and zero counts stay finite."""
+    e = max(float(estimated), 1.0)
+    a = max(float(actual), 1.0)
+    return max(e / a, a / e)
+
+
+def cardinality_report(plan_term: Term, db, metrics) -> dict[str, dict]:
+    """Per-operator ``{estimated, actual, q_error}`` for one executed plan.
+
+    Estimates come from the cost model's per-operator cardinality walk;
+    actuals from ``metrics.operators[op]["out"]``.  Operators the metrics
+    did not see (scalar producers, unwrapped internals) are skipped — the
+    report only claims what both sides measured.
+    """
+    from repro.optimizer.cost import estimate_with_cardinalities
+
+    _, estimated = estimate_with_cardinalities(plan_term, db)
+    report: dict[str, dict] = {}
+    for op, est in estimated.items():
+        slot = metrics.operators.get(op)
+        if slot is None:
+            continue
+        actual = slot["out"]
+        report[op] = {
+            "estimated": round(est, 2),
+            "actual": actual,
+            "q_error": round(q_error(est, actual), 2),
+        }
+    return report
+
+
+def fold_observed(plan_term: Term, db, metrics) -> int:
+    """Fold measured filter selectivities back into ``db.stats``.
+
+    Per-operator metrics aggregate over all occurrences of an operator
+    name, so a selectivity is attributable only when the plan has exactly
+    one ``filter`` whose input operator also occurs exactly once.  Returns
+    the number of selectivities recorded (0 or 1).
+    """
+    filters = []
+    occurrences: dict[str, int] = {}
+    _walk_ops(plan_term, filters, occurrences)
+    if len(filters) != 1:
+        return 0
+    source, pred = filters[0]
+    if not isinstance(source, Apply) or occurrences.get(source.op, 0) != 1:
+        return 0
+    base = _base_structure(source)
+    if base is None or db.stats.get(base) is None:
+        return 0
+    rows_in = metrics.tuples_out(source.op)
+    rows_out = metrics.tuples_out("filter")
+    if rows_in <= 0:
+        return 0
+    selectivity = max(0.0, min(1.0, rows_out / rows_in))
+    db.stats.record_observed(base, format_term(pred), selectivity)
+    return 1
+
+
+def _walk_ops(term: Term, filters: list, occurrences: dict) -> None:
+    if isinstance(term, Apply):
+        occurrences[term.op] = occurrences.get(term.op, 0) + 1
+        if term.op == "filter" and len(term.args) == 2:
+            filters.append((term.args[0], term.args[1]))
+        for a in term.args:
+            _walk_ops(a, filters, occurrences)
+        return
+    if isinstance(term, Fun):
+        _walk_ops(term.body, filters, occurrences)
+        return
+    if isinstance(term, (ListTerm, TupleTerm)):
+        for item in term.items:
+            _walk_ops(item, filters, occurrences)
+        return
+    if isinstance(term, Call):
+        _walk_ops(term.fn, filters, occurrences)
+        for a in term.args:
+            _walk_ops(a, filters, occurrences)
+
+
+def _base_structure(source: Apply) -> Optional[str]:
+    """The structure a stream operator reads, when it reads one directly."""
+    if source.op in ("feed", "range", "exact", "prefix") and source.args:
+        first = source.args[0]
+        if isinstance(first, (Var, ObjRef)):
+            return first.name
+    return None

@@ -52,6 +52,7 @@ from repro.errors import (
 )
 from repro.lang.interpreter import Interpreter
 from repro.lang.parser import (
+    AnalyzeStmt,
     CreateStmt,
     DeleteStmt,
     QueryStmt,
@@ -223,6 +224,7 @@ class SOSSystem:
         self.interpreter = Interpreter(database)
         self.tracer = tracer if tracer is not None else Tracer()
         self._collect = False
+        self._feedback = False
 
     # ------------------------------------------------------------ observability
 
@@ -240,6 +242,15 @@ class SOSSystem:
     @property
     def tracing(self) -> bool:
         return self._collect
+
+    def set_feedback(self, enabled: bool = True) -> None:
+        """Toggle cardinality feedback: while on (and metric collection is
+        also on), measured filter selectivities of executed query plans are
+        folded back into the statistics catalog
+        (:func:`repro.stats.feedback.fold_observed`), so the next estimate
+        of the same predicate uses observed rather than assumed fractions.
+        """
+        self._feedback = bool(enabled)
 
     @contextmanager
     def _phase(self, timings: dict[str, float], name: str) -> Iterator[None]:
@@ -318,15 +329,21 @@ class SOSSystem:
 
         With ``analyze=True`` the query is also *executed* with metric
         collection armed, adding real row counts, per-operator tuple
-        counts, storage access counters, and per-phase timings (the
-        classic EXPLAIN ANALYZE).
+        counts, storage access counters, per-phase timings, and the
+        per-operator estimated-vs-actual ``cardinality`` report with
+        q-errors (the classic EXPLAIN ANALYZE).
+
+        Both forms report ``cost_counters`` — the ``cost.*`` observe
+        counters bumped while estimating (statistics hits/misses, silent
+        sampling fallbacks), so the basis of the estimate is visible.
         """
         from repro.core.terms import clone_term
         from repro.optimizer.cost import estimate
+        from repro.stats.feedback import cardinality_report
 
         words = source.split()
         if not words or words[0] not in (
-            "type", "create", "update", "delete", "query",
+            "type", "create", "update", "delete", "query", "analyze",
         ):
             source = "query " + source
         statement = self.interpreter.make_parser().parse_statement(source)
@@ -340,6 +357,10 @@ class SOSSystem:
                 else result.term
             )
             assert result.metrics is not None and result.rule_trace is not None
+            cost, cost_counters = self._estimate_observed(plan_term)
+            cardinality = cardinality_report(
+                plan_term, self.database, result.metrics
+            )
             return {
                 "level": result.level,
                 "translated": result.translated,
@@ -349,7 +370,8 @@ class SOSSystem:
                     else self._concrete(result.term)
                 ),
                 "fired": result.fired,
-                "estimated_cost": estimate(plan_term, self.database),
+                "estimated_cost": cost,
+                "cost_counters": cost_counters,
                 "result_type": result.type,
                 "analyzed": True,
                 "rows": (
@@ -357,6 +379,10 @@ class SOSSystem:
                 ),
                 "value": result.value,
                 "metrics": result.metrics.as_dict(),
+                "cardinality": cardinality,
+                "max_q_error": max(
+                    (r["q_error"] for r in cardinality.values()), default=1.0
+                ),
                 "rule_trace": result.rule_trace.as_dict(),
                 "timings": dict(result.timings),
             }
@@ -371,16 +397,32 @@ class SOSSystem:
             opt = self.optimizer.optimize(work, self.database, trace)
             plan = opt.term
             fired = opt.fired
+        cost, cost_counters = self._estimate_observed(plan)
         return {
             "level": level,
             "translated": bool(fired),
             "plan": self._concrete(plan),
             "fired": fired,
-            "estimated_cost": estimate(plan, self.database),
+            "estimated_cost": cost,
+            "cost_counters": cost_counters,
             "result_type": plan.type,
             "analyzed": False,
             "rule_trace": trace.as_dict(),
         }
+
+    def _estimate_observed(self, plan: Term) -> tuple[float, dict[str, int]]:
+        """Estimate a plan's cost with collection armed, returning the cost
+        and the ``cost.*`` counters the estimate bumped (stats hits/misses,
+        sample fallbacks)."""
+        from repro.optimizer.cost import estimate
+
+        sink = ExecutionMetrics()
+        with observe.collecting(sink):
+            cost = estimate(plan, self.database, sample=True)
+        counters = {
+            k: v for k, v in sink.counters.items() if k.startswith("cost.")
+        }
+        return cost, counters
 
     # ------------------------------------------------------------- execution
 
@@ -417,6 +459,16 @@ class SOSSystem:
                 }
                 result.metrics = metrics
                 result.rule_trace = trace
+                if self._feedback and result.kind == "query":
+                    from repro.stats.feedback import fold_observed
+
+                    plan = (
+                        result.translated_term
+                        if result.translated_term is not None
+                        else result.term
+                    )
+                    if plan is not None:
+                        fold_observed(plan, self.database, metrics)
             else:
                 result = self._execute(statement, timings, None)
         timings["total"] = sum(
@@ -461,6 +513,12 @@ class SOSSystem:
             return self._execute_update(statement, timings, trace)
         if isinstance(statement, QueryStmt):
             return self._execute_query(statement, timings, trace)
+        if isinstance(statement, AnalyzeStmt):
+            from repro.stats.analyze import analyze_objects
+
+            with self._phase(timings, "execute"):
+                summary = analyze_objects(self.database, statement.names or None)
+            return SystemResult("analyze", value=summary)
         raise TypeError(f"not a statement: {statement!r}")
 
     def _term_level(self, term: Term) -> str:

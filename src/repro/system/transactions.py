@@ -142,16 +142,19 @@ def _collect_refs(term: Term, bound: frozenset, database, found: set) -> None:
 class Savepoint:
     """A point a transaction can roll back to.
 
-    Holds shallow copies of the catalog dictionaries as of its creation,
-    plus an undo log of ``name -> (object, original value, pristine clone)``
-    for values protected after its creation.
+    Holds shallow copies of the catalog dictionaries (``aliases``,
+    ``objects``, statistics entries — all copy-on-write, so shallow is
+    sound) as of its creation, plus an undo log of ``name -> (object,
+    original value, pristine clone)`` for values protected after its
+    creation.
     """
 
-    __slots__ = ("aliases", "objects", "undo")
+    __slots__ = ("aliases", "objects", "stats", "undo")
 
-    def __init__(self, aliases: dict, objects: dict):
+    def __init__(self, aliases: dict, objects: dict, stats: Optional[dict] = None):
         self.aliases = aliases
         self.objects = objects
+        self.stats = stats if stats is not None else {}
         self.undo: dict[str, tuple] = {}
 
 
@@ -175,7 +178,9 @@ class Transaction:
 
     def _capture(self) -> Savepoint:
         db = self.database
-        return Savepoint(dict(db.aliases), dict(db.objects))
+        return Savepoint(
+            dict(db.aliases), dict(db.objects), db.stats.snapshot()
+        )
 
     def savepoint(self) -> Savepoint:
         """Mark the current state; :meth:`rollback` can return to it."""
@@ -237,6 +242,7 @@ class Transaction:
         db.aliases.update(target.aliases)
         db.objects.clear()
         db.objects.update(target.objects)
+        db.stats.restore(target.stats)
         del self._savepoints[index + 1 :]
         target.undo.clear()
         if savepoint is None:

@@ -1,0 +1,128 @@
+"""The standalone benchmark harness and its CI regression gate."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from benchmarks import compare, harness
+
+
+def _doc(counters, median=1.0, calibration=10.0, name="b"):
+    return {
+        "schema": 1,
+        "meta": {"mode": "smoke", "calibration_ms": calibration},
+        "benchmarks": {
+            name: {
+                "rounds": 3,
+                "min_ms": median,
+                "median_ms": median,
+                "p95_ms": median,
+                "counters": dict(counters),
+            }
+        },
+    }
+
+
+class TestCompareGate:
+    def test_identical_runs_pass(self):
+        doc = _doc({"rows": 100, "page_reads": 8})
+        assert compare.compare(doc, doc) == []
+
+    def test_counter_regression_beyond_threshold_fails(self):
+        base = _doc({"page_reads": 10})
+        ok = _doc({"page_reads": 12})  # +20% is the limit, not a failure
+        assert compare.compare(base, ok) == []
+        bad = _doc({"page_reads": 13})  # +30%
+        failures = compare.compare(base, bad)
+        assert len(failures) == 1
+        assert "page_reads" in failures[0]
+
+    def test_counter_improvements_pass(self):
+        base = _doc({"page_reads": 100})
+        better = _doc({"page_reads": 1})
+        assert compare.compare(base, better) == []
+
+    def test_plan_choice_flag_may_not_drop(self):
+        base = _doc({"analyzed_picks_index": 1})
+        bad = _doc({"analyzed_picks_index": 0})
+        failures = compare.compare(base, bad)
+        assert failures and "plan choice regressed" in failures[0]
+
+    def test_missing_benchmark_or_counter_fails(self):
+        base = _doc({"rows": 5})
+        gone = {"schema": 1, "meta": {}, "benchmarks": {}}
+        assert "missing" in compare.compare(base, gone)[0]
+        partial = _doc({})
+        assert "disappeared" in compare.compare(base, partial)[0]
+
+    def test_time_gate_normalizes_by_calibration(self):
+        base = _doc({}, median=1.0, calibration=10.0)
+        # Twice as slow — but on a machine whose busy loop is also twice
+        # as slow: same calibration units, no failure.
+        slow_host = _doc({}, median=2.0, calibration=20.0)
+        assert compare.compare(base, slow_host, check_time=True) == []
+        # Twice as slow on an identical machine: a real regression.
+        regressed = _doc({}, median=2.0, calibration=10.0)
+        failures = compare.compare(base, regressed, check_time=True)
+        assert failures and "median_ms" in failures[0]
+        # Timings are off the gate by default.
+        assert compare.compare(base, regressed) == []
+
+    def test_cli_exit_codes(self, tmp_path):
+        base_path = tmp_path / "base.json"
+        cur_path = tmp_path / "cur.json"
+        base_path.write_text(json.dumps(_doc({"rows": 10})))
+        cur_path.write_text(json.dumps(_doc({"rows": 10})))
+        assert compare.main([str(base_path), str(cur_path)]) == 0
+        cur_path.write_text(json.dumps(_doc({"rows": 99})))
+        assert compare.main([str(base_path), str(cur_path)]) == 1
+
+
+class TestHarness:
+    def test_percentile_interpolation(self):
+        assert harness._percentile([1.0], 0.95) == 1.0
+        assert harness._percentile([1.0, 2.0, 3.0, 4.0], 0.5) == 2.5
+        assert harness._percentile([1.0, 2.0], 0.95) == pytest.approx(1.95)
+
+    def test_unknown_benchmark_rejected(self):
+        with pytest.raises(SystemExit):
+            harness.run(smoke=True, only=["nope"])
+
+    def test_smoke_run_shape(self):
+        doc = harness.run(smoke=True, only=["b1_range"])
+        assert doc["meta"]["mode"] == "smoke"
+        assert doc["meta"]["calibration_ms"] > 0
+        entry = doc["benchmarks"]["b1_range"]
+        assert entry["rounds"] == 3
+        assert entry["min_ms"] <= entry["median_ms"] <= entry["p95_ms"]
+        assert entry["counters"]["rows"] > 0
+        assert entry["counters"]["page_reads"] > 0
+        json.dumps(doc)  # the document is pure JSON
+
+    def test_main_writes_file(self, tmp_path):
+        out = tmp_path / "BENCH_test.json"
+        assert harness.main(["--smoke", "--only", "b1_range", "--out", str(out)]) == 0
+        doc = json.loads(out.read_text())
+        assert "b1_range" in doc["benchmarks"]
+
+    def test_refuses_armed_collection(self):
+        from repro import observe
+
+        with observe.collecting():
+            with pytest.raises(SystemExit):
+                harness.main(["--smoke", "--only", "b1_range", "--out", "-"])
+
+    def test_committed_baseline_matches_current_counters(self):
+        """The committed BENCH_core.json counters must describe the code as
+        it is — the CI gate diffs fresh runs against it."""
+        import pathlib
+
+        root = pathlib.Path(__file__).resolve().parent.parent
+        baseline = json.loads((root / "BENCH_core.json").read_text())
+        current = harness.run(smoke=True, only=["equijoin_stats"])
+        assert (
+            baseline["benchmarks"]["equijoin_stats"]["counters"]
+            == current["benchmarks"]["equijoin_stats"]["counters"]
+        )

@@ -148,3 +148,80 @@ class TestRepl:
         result = run_cli(["--model"], stdin=stdin)
         assert "error:" in result.stdout
         assert "2" in result.stdout
+
+
+class TestStatsAndTraces:
+    STDIN_SCHEMA = (
+        "type t = tuple(<(a, int)>)\n"
+        "create r : rel(t)\n"
+        "create r_rep : btree(t, a, int)\n"
+        "update rep := insert(rep, r, r_rep)\n"
+        "update r := insert(r, mktuple[<(a, 7)>])\n"
+        "update r := insert(r, mktuple[<(a, 9)>])\n"
+        "\n"
+    )
+
+    def test_analyze_statement_reports_summary(self, tmp_path):
+        path = tmp_path / "p.sos"
+        path.write_text(self.STDIN_SCHEMA + "analyze r\n")
+        result = run_cli([str(path)])
+        assert result.returncode == 0, result.stderr
+        assert "analyzed r_rep: 2 row(s)" in result.stdout
+
+    def test_stats_command(self):
+        stdin = self.STDIN_SCHEMA + "analyze r\n\n\\stats r\n\\q\n"
+        result = run_cli([], stdin=stdin)
+        assert result.returncode == 0, result.stderr
+        assert "r_rep: 2 row(s)" in result.stdout
+        assert "a [key]: distinct=2 min=7 max=9" in result.stdout
+
+    def test_stats_before_analyze_hints(self):
+        stdin = self.STDIN_SCHEMA + "\\stats r\n\\q\n"
+        result = run_cli([], stdin=stdin)
+        assert "no statistics for r (run: analyze r)" in result.stdout
+
+    def test_trace_json_written_for_file_run(self, tmp_path, program_file):
+        import json
+
+        trace = tmp_path / "trace.json"
+        result = run_cli(["--trace-json", str(trace), str(program_file)])
+        assert result.returncode == 0, result.stderr
+        assert f"trace written to {trace}" in result.stdout
+        doc = json.loads(trace.read_text())
+        names = {e["name"] for e in doc["traceEvents"]}
+        assert "statement" in names
+        assert {e["ph"] for e in doc["traceEvents"]} <= {"B", "E", "i"}
+
+    def test_trace_json_written_on_repl_quit(self, tmp_path):
+        import json
+
+        trace = tmp_path / "trace.json"
+        result = run_cli(
+            ["--trace-json", str(trace)], stdin="query 1 + 2\n\n\\q\n"
+        )
+        assert result.returncode == 0, result.stderr
+        assert json.loads(trace.read_text())["traceEvents"]
+
+    def test_trace_json_flag_needs_value(self):
+        result = run_cli(["--trace-json"])
+        assert result.returncode == 2
+
+    def test_explain_reports_estimate_basis(self):
+        stdin = (
+            self.STDIN_SCHEMA
+            + "analyze r\n\n\\explain r select[a >= 8]\n\\q\n"
+        )
+        result = run_cli([], stdin=stdin)
+        assert result.returncode == 0, result.stderr
+        assert "est:" in result.stdout
+        assert "stats_hit=" in result.stdout
+
+    def test_explain_analyze_reports_cardinality(self):
+        stdin = (
+            self.STDIN_SCHEMA
+            + "analyze r\n\n\\explain+ r select[a >= 8]\n\\q\n"
+        )
+        result = run_cli([], stdin=stdin)
+        assert result.returncode == 0, result.stderr
+        assert "card:" in result.stdout
+        assert "q=" in result.stdout

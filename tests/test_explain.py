@@ -113,3 +113,37 @@ class TestExplainAnalyze:
         info = loaded_system.explain("cities select[pop >= 5000]")
         assert info["analyzed"] is False
         assert "rows" not in info and "metrics" not in info
+
+
+class TestExplainCardinality:
+    def test_cost_counters_reported(self, loaded_system):
+        info = loaded_system.explain("cities select[pop >= 5000]")
+        # No statistics yet: every catalog consultation was a miss.
+        assert info["cost_counters"].get("cost.stats_miss", 0) > 0
+        loaded_system.run_one("analyze cities")
+        warm = loaded_system.explain("cities select[pop >= 5000]")
+        assert warm["cost_counters"].get("cost.stats_hit", 0) > 0
+
+    def test_analyze_reports_per_operator_q_error(self, loaded_system):
+        loaded_system.run_one("analyze cities")
+        info = loaded_system.explain("cities select[pop >= 5000]", analyze=True)
+        card = info["cardinality"]
+        assert "range" in card
+        entry = card["range"]
+        assert set(entry) == {"estimated", "actual", "q_error"}
+        assert entry["actual"] == info["rows"]
+        assert entry["q_error"] >= 1.0
+        assert info["max_q_error"] == max(
+            r["q_error"] for r in card.values()
+        )
+
+    def test_histogram_makes_estimates_near_exact(self, loaded_system):
+        loaded_system.run_one("analyze cities")
+        info = loaded_system.explain("cities select[pop >= 5000]", analyze=True)
+        # The equi-depth histogram over 40 analyzed rows predicts the range
+        # output almost exactly.
+        assert info["max_q_error"] < 1.5
+
+    def test_plain_explain_has_no_cardinality_payload(self, loaded_system):
+        info = loaded_system.explain("cities select[pop >= 5000]")
+        assert "cardinality" not in info and "max_q_error" not in info

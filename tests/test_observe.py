@@ -4,8 +4,17 @@ from __future__ import annotations
 
 import pytest
 
+import json
+
 from repro import observe
-from repro.observe import Event, ExecutionMetrics, RuleTrace, Tracer
+from repro.observe import (
+    ChromeTraceExporter,
+    Event,
+    ExecutionMetrics,
+    Histogram,
+    RuleTrace,
+    Tracer,
+)
 
 
 class TestTracer:
@@ -80,6 +89,45 @@ class TestTracer:
         assert result.value == 40
         assert loaded_system.tracer.subscriber_errors > 0
 
+    def test_span_depth_restored_across_exceptions(self):
+        tracer = Tracer()
+        seen = []
+        tracer.subscribe(seen.append)
+        with pytest.raises(ValueError):
+            with tracer.span("outer"):
+                with tracer.span("inner"):
+                    raise ValueError()
+        # Both spans closed (depth unwound), and a fresh span starts at 0.
+        assert [(e.name, e.kind) for e in seen] == [
+            ("outer", "begin"),
+            ("inner", "begin"),
+            ("inner", "end"),
+            ("outer", "end"),
+        ]
+        tracer.emit("after")
+        assert seen[-1].depth == 0
+
+    def test_unsubscribe_during_emit(self):
+        tracer = Tracer()
+        seen = []
+
+        def one_shot(event):
+            seen.append(event.name)
+            tracer.unsubscribe(one_shot)
+
+        tracer.subscribe(one_shot)
+        tracer.subscribe(lambda e: seen.append(f"late:{e.name}"))
+        tracer.emit("first")  # one_shot removes itself mid-delivery...
+        tracer.emit("second")
+        # ...yet still received 'first', the later subscriber got both,
+        # and nothing was miscounted as an error.
+        assert seen == ["first", "late:first", "late:second"]
+        assert tracer.subscriber_errors == 0
+
+    def test_unsubscribe_unknown_fn_is_a_noop(self):
+        tracer = Tracer()
+        tracer.unsubscribe(lambda e: None)  # never subscribed: no error
+
 
 class TestCollecting:
     def test_disabled_by_default(self):
@@ -110,6 +158,26 @@ class TestCollecting:
         with pytest.raises(ValueError):
             with observe.collecting():
                 raise ValueError()
+        assert observe.ENABLED is False
+        assert observe.active() is None
+
+    def test_out_of_order_exit_does_not_clobber_newer_scope(self):
+        # Generators can suspend a collecting scope and finalize it after a
+        # newer scope was armed; the stale exit must leave the newer scope
+        # active.
+        def generator_scope():
+            with observe.collecting() as inner:
+                yield inner
+
+        gen = generator_scope()
+        stale = next(gen)
+        with observe.collecting() as fresh:
+            gen.close()  # exits the *older* scope while 'fresh' is armed
+            assert observe.active() is fresh
+            assert observe.ENABLED is True
+            observe.incr("x")
+        assert fresh.counters == {"x": 1}
+        assert stale.counters == {}
         assert observe.ENABLED is False
         assert observe.active() is None
 
@@ -281,3 +349,110 @@ update orders_idx := build_index(orders_heap, pop)
         assert result.value == 1
         # One matching TID, dereferenced once against the heap.
         assert result.metrics.counters["tidrel.fetches"] == 1
+
+
+class TestHistogram:
+    def test_records_and_reports(self):
+        hist = Histogram()
+        for v in [1, 2, 3, 4, 5, 6, 7, 8, 9, 10]:
+            hist.record(v)
+        assert hist.count == 10
+        d = hist.as_dict()
+        assert d["min"] == 1.0
+        assert d["max"] == 10.0
+        assert d["mean"] == pytest.approx(5.5)
+        assert d["p50"] == pytest.approx(5.5)
+        assert d["p95"] == pytest.approx(9.55)
+
+    def test_percentile_edge_cases(self):
+        hist = Histogram()
+        with pytest.raises(ValueError):
+            hist.percentile(50)
+        hist.record(7)
+        assert hist.percentile(0) == 7.0
+        assert hist.percentile(100) == 7.0
+        with pytest.raises(ValueError):
+            hist.percentile(101)
+        assert hist.as_dict()["count"] == 1
+
+    def test_empty_as_dict(self):
+        assert Histogram().as_dict() == {"count": 0}
+
+    def test_metrics_record_into_named_histograms(self):
+        with observe.collecting() as metrics:
+            observe.record("probe.rows", 3)
+            observe.record("probe.rows", 5)
+        assert metrics.histograms["probe.rows"].count == 2
+        d = metrics.as_dict()
+        assert d["histograms"]["probe.rows"]["mean"] == pytest.approx(4.0)
+        # Disarmed: silently dropped, like incr.
+        observe.record("probe.rows", 9)
+        assert metrics.histograms["probe.rows"].count == 2
+
+    def test_as_dict_omits_histograms_when_none_recorded(self):
+        assert "histograms" not in ExecutionMetrics().as_dict()
+
+
+class TestChromeTraceExporter:
+    def test_span_and_counter_mapping(self):
+        tracer = Tracer()
+        exporter = ChromeTraceExporter()
+        tracer.subscribe(exporter)
+        with tracer.span("statement", category="query"):
+            tracer.emit("rows", value=4.0)
+        phases = [(e["name"], e["ph"]) for e in exporter.events]
+        assert phases == [
+            ("statement", "B"),
+            ("rows", "i"),
+            ("statement", "E"),
+        ]
+        begin, instant, end = exporter.events
+        assert begin["args"] == {"category": "query"}
+        assert instant["s"] == "t"
+        assert instant["args"]["value"] == 4.0
+        assert end["args"]["duration_ms"] >= 0.0
+        assert end["ts"] >= begin["ts"]
+
+    def test_json_document_shape(self):
+        tracer = Tracer()
+        exporter = ChromeTraceExporter(pid=7, tid=9)
+        tracer.subscribe(exporter)
+        tracer.emit("tick")
+        doc = json.loads(exporter.to_json())
+        assert set(doc) == {"traceEvents", "displayTimeUnit"}
+        assert doc["traceEvents"][0]["pid"] == 7
+        assert doc["traceEvents"][0]["tid"] == 9
+
+    def test_write_roundtrip(self, tmp_path):
+        tracer = Tracer()
+        exporter = ChromeTraceExporter()
+        tracer.subscribe(exporter)
+        with tracer.span("work"):
+            pass
+        path = tmp_path / "trace.json"
+        exporter.write(str(path))
+        doc = json.loads(path.read_text())
+        assert len(doc["traceEvents"]) == 2
+
+    def test_live_payloads_are_flattened(self):
+        tracer = Tracer()
+        exporter = ChromeTraceExporter()
+        tracer.subscribe(exporter)
+        metrics = ExecutionMetrics()
+        metrics.incr("btree.node_reads", 2)
+        tracer.emit("done", metrics=metrics, term=object())
+        args = exporter.events[0]["args"]
+        assert args["metrics"]["counters"] == {"btree.node_reads": 2}
+        assert isinstance(args["term"], str)
+        json.dumps(exporter.events)  # everything serializes
+
+    def test_session_trace_export(self, loaded_system, tmp_path):
+        exporter = ChromeTraceExporter()
+        loaded_system.tracer.subscribe(exporter)
+        loaded_system.set_tracing(True)
+        loaded_system.query("cities_rep feed count")
+        names = {e["name"] for e in exporter.events}
+        assert "statement" in names
+        path = tmp_path / "session.json"
+        exporter.write(str(path))
+        assert json.loads(path.read_text())["traceEvents"]
