@@ -1,7 +1,8 @@
 """A self-contained benchmark harness writing ``BENCH_*.json`` for CI diffs.
 
 ``python -m benchmarks.harness --smoke --out BENCH_core.json`` runs every
-registered benchmark and writes one JSON document with, per benchmark:
+registered benchmark of the ``core`` suite and writes one JSON document
+with, per benchmark:
 
 * wall-clock ``min_ms`` / ``median_ms`` / ``p95_ms`` over the rounds;
 * ``counters`` — *deterministic* workload numbers (simulated page reads,
@@ -14,15 +15,24 @@ The document's ``meta.calibration_ms`` times a fixed busy loop in the same
 process, so timing medians can be compared across machines in calibration
 units (see :mod:`benchmarks.compare`).  ``--smoke`` shrinks datasets and
 round counts to keep the CI pass under a few seconds; the committed
-baseline ``BENCH_core.json`` is a smoke run for exactly that reason.
+baselines (``BENCH_core.json``, ``BENCH_durability.json``) are smoke runs
+for exactly that reason.
+
+``--suite durability`` selects the durable-mode workloads instead —
+write-ahead-logged inserts (per-commit and group-commit fsync policies)
+and recovery, with the deterministic ``log_writes`` / ``fsyncs`` /
+``replayed`` counters the gate can diff; see ``docs/DURABILITY.md``.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
+import shutil
 import statistics
 import sys
+import tempfile
 import time
 
 from benchmarks.helpers import build_spatial_system
@@ -198,12 +208,117 @@ def bench_trace_overhead(smoke: bool) -> dict:
     return entry
 
 
+# ---------------------------------------------------------------------------
+# Durability suite: WAL-logged workloads and recovery
+# ---------------------------------------------------------------------------
+
+
+def _durable_rows(smoke: bool) -> int:
+    # Each row is a logged+fsynced statement, so the smoke count stays low.
+    return 30 if smoke else 300
+
+
+def _open_durable(tmp: str, group_commit: int = 1):
+    from repro.api import connect
+
+    return connect(
+        data_dir=os.path.join(tmp, "db"),
+        group_commit=group_commit,
+        checkpoint_interval=0,
+    )
+
+
+def _durable_workload(tmp: str, n: int, group_commit: int = 1) -> None:
+    db = _open_durable(tmp, group_commit)
+    db.run_one("type item = tuple(<(k, int), (name, string)>)")
+    db.run_one("create items : rel(item)")
+    db.run_one("create items_rep : btree(item, k, int)")
+    db.run_one("update rep := insert(rep, items, items_rep)")
+    for i in range(n):
+        db.run_one(
+            f'update items := insert(items, mktuple[<(k, {i}), (name, "r{i}")>])'
+        )
+    db.close()
+
+
+def _bench_durable_inserts(smoke: bool, group_commit: int) -> dict:
+    n = _durable_rows(smoke)
+
+    def once():
+        with tempfile.TemporaryDirectory() as tmp:
+            _durable_workload(tmp, n, group_commit)
+
+    with tempfile.TemporaryDirectory() as tmp:
+        _, io = _io_delta(lambda: _durable_workload(tmp, n, group_commit))
+    entry = _summarize(_times(once, 3 if smoke else 10))
+    entry["counters"] = {
+        "rows": n,
+        "log_writes": io.log_writes,
+        "log_bytes": io.log_bytes,
+        "fsyncs": io.fsyncs,
+    }
+    return entry
+
+
+def bench_durable_insert(smoke: bool) -> dict:
+    """WAL-logged inserts, fsync per commit (``group_commit=1``): the
+    worst-case durable write path — three log records and one fsync per
+    statement, all visible as deterministic counters."""
+    return _bench_durable_inserts(smoke, group_commit=1)
+
+
+def bench_group_commit(smoke: bool) -> dict:
+    """The same workload with ``group_commit=8``: identical log traffic,
+    an eighth of the fsyncs — the gate pins the batching ratio down."""
+    return _bench_durable_inserts(smoke, group_commit=8)
+
+
+def bench_recovery(smoke: bool) -> dict:
+    """Reopening a durable directory: full WAL replay, then again after a
+    checkpoint bounds the log to zero replayed statements."""
+    n = _durable_rows(smoke)
+    tmp = tempfile.mkdtemp(prefix="bench-recovery-")
+    try:
+        _durable_workload(tmp, n)
+
+        def reopen():
+            db = _open_durable(tmp)
+            replayed = db.durability.replayed_statements
+            db.close()
+            return replayed
+
+        replayed, io = _io_delta(reopen)
+        entry = _summarize(_times(reopen, 3 if smoke else 10))
+        db = _open_durable(tmp)
+        db.checkpoint()
+        db.close()
+        entry["counters"] = {
+            "replayed": replayed,
+            "log_writes": io.log_writes,
+            "replayed_after_checkpoint": reopen(),
+        }
+        return entry
+    finally:
+        shutil.rmtree(tmp, ignore_errors=True)
+
+
 BENCHMARKS = {
     "b1_range": bench_b1_range,
     "b1_scan": bench_b1_scan,
     "equijoin_stats": bench_equijoin_stats,
     "analyze": bench_analyze,
     "trace_overhead": bench_trace_overhead,
+}
+
+DURABILITY_BENCHMARKS = {
+    "durable_insert": bench_durable_insert,
+    "group_commit": bench_group_commit,
+    "recovery": bench_recovery,
+}
+
+SUITES = {
+    "core": BENCHMARKS,
+    "durability": DURABILITY_BENCHMARKS,
 }
 
 
@@ -213,23 +328,27 @@ BENCHMARKS = {
 
 
 def run(
-    smoke: bool = False, only: list[str] | None = None
+    smoke: bool = False,
+    only: list[str] | None = None,
+    suite: str = "core",
 ) -> dict:
-    selected = only or list(BENCHMARKS)
-    unknown = [name for name in selected if name not in BENCHMARKS]
+    benchmarks = SUITES[suite]
+    selected = only or list(benchmarks)
+    unknown = [name for name in selected if name not in benchmarks]
     if unknown:
         raise SystemExit(f"unknown benchmark(s): {', '.join(unknown)}")
     document = {
         "schema": SCHEMA_VERSION,
         "meta": {
             "mode": "smoke" if smoke else "full",
+            "suite": suite,
             "calibration_ms": round(_calibrate(), 3),
             "python": sys.version.split()[0],
         },
         "benchmarks": {},
     }
     for name in selected:
-        document["benchmarks"][name] = BENCHMARKS[name](smoke)
+        document["benchmarks"][name] = benchmarks[name](smoke)
     return document
 
 
@@ -242,17 +361,23 @@ def main(argv: list[str] | None = None) -> int:
         help="small datasets and few rounds (the CI mode)",
     )
     parser.add_argument(
-        "--out", default="BENCH_core.json", metavar="PATH",
-        help="output JSON path ('-' for stdout)",
+        "--suite", default="core", choices=sorted(SUITES),
+        help="benchmark suite to run (default: core)",
+    )
+    parser.add_argument(
+        "--out", default=None, metavar="PATH",
+        help="output JSON path ('-' for stdout; default BENCH_<suite>.json)",
     )
     parser.add_argument(
         "--only", action="append", metavar="NAME",
         help="run only the named benchmark (repeatable)",
     )
     args = parser.parse_args(argv)
+    if args.out is None:
+        args.out = f"BENCH_{args.suite}.json"
     if observe.ENABLED:
         raise SystemExit("refusing to benchmark with collection armed")
-    document = run(smoke=args.smoke, only=args.only)
+    document = run(smoke=args.smoke, only=args.only, suite=args.suite)
     payload = json.dumps(document, indent=2, sort_keys=True) + "\n"
     if args.out == "-":
         sys.stdout.write(payload)

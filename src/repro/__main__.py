@@ -9,6 +9,8 @@ Usage::
     python -m repro --trace-json T.json  # export tracer events as a Chrome trace
     python -m repro --max-steps N ...    # arm the evaluation step budget
     python -m repro --max-depth N ...    # arm the recursion-depth limit
+    python -m repro --data-dir DIR ...   # durable database (WAL + recovery)
+    python -m repro --group-commit N ... # fsync every Nth commit (with --data-dir)
 
 The REPL accepts the six statement forms; a statement ends at the end of a
 line unless continued by indentation on the following lines (same rule as
@@ -16,7 +18,9 @@ program files).  ``\\q`` quits, ``\\objects`` lists objects, ``\\types``
 lists named types, ``\\explain Q`` shows the plan for a query and
 ``\\explain+ Q`` also executes it, reporting real tuple counts, storage
 accesses and per-phase timings (EXPLAIN ANALYZE); ``\\stats NAME`` prints
-the statistics catalog entries behind an object (run ``analyze`` first).
+the statistics catalog entries behind an object (run ``analyze`` first);
+``\\checkpoint`` snapshots a durable session and truncates its log
+(``--data-dir`` mode, see docs/DURABILITY.md).
 
 Statements execute atomically: a failed statement reports its index, phase
 and source snippet, and leaves the database exactly as it was before —
@@ -100,8 +104,21 @@ def _make_runner(
     limits: tuple[int | None, int | None],
     trace: bool = False,
     trace_json: str | None = None,
+    data_dir: str | None = None,
+    group_commit: int = 1,
 ):
-    runner = connect("model" if model_only else "relational", trace=trace or None)
+    runner = connect(
+        "model" if model_only else "relational",
+        trace=trace or None,
+        data_dir=data_dir,
+        group_commit=group_commit,
+    )
+    if data_dir is not None:
+        manager = runner.durability
+        print(
+            f"-- durable mode: {data_dir} (epoch {manager.epoch}, "
+            f"{manager.replayed_statements} statement(s) replayed)"
+        )
     exporter = None
     if trace_json is not None:
         from repro.observe import ChromeTraceExporter
@@ -128,8 +145,16 @@ def run_file(
     limits: tuple[int | None, int | None] = (None, None),
     trace: bool = False,
     trace_json: str | None = None,
+    data_dir: str | None = None,
+    group_commit: int = 1,
 ) -> int:
-    runner, exporter = _make_runner(model_only, limits, trace, trace_json)
+    try:
+        runner, exporter = _make_runner(
+            model_only, limits, trace, trace_json, data_dir, group_commit
+        )
+    except SOSError as exc:
+        _print_error(exc, sys.stderr)
+        return 2
     try:
         with open(path) as f:
             source = f.read()
@@ -142,12 +167,14 @@ def run_file(
     except SOSError as exc:
         _print_error(exc, sys.stderr)
         _write_trace(exporter, trace_json)
+        runner.close()
         return 1
     if dump_to is not None:
         with open(dump_to, "w") as out:
             out.write(runner.dump())
         print(f"-- state dumped to {dump_to}")
     _write_trace(exporter, trace_json)
+    runner.close()
     return 0
 
 
@@ -220,8 +247,16 @@ def repl(
     limits: tuple[int | None, int | None] = (None, None),
     trace: bool = False,
     trace_json: str | None = None,
+    data_dir: str | None = None,
+    group_commit: int = 1,
 ) -> int:
-    runner, exporter = _make_runner(model_only, limits, trace, trace_json)
+    try:
+        runner, exporter = _make_runner(
+            model_only, limits, trace, trace_json, data_dir, group_commit
+        )
+    except SOSError as exc:
+        _print_error(exc, sys.stderr)
+        return 2
     database = runner.database
     print("second-order signature system — \\q to quit")
     buffer: list[str] = []
@@ -247,15 +282,29 @@ def repl(
             flush()
             print()
             _write_trace(exporter, trace_json)
+            runner.close()
             return 0
         except KeyboardInterrupt:
             print()
             _write_trace(exporter, trace_json)
+            runner.close()
             return 0
         if line.strip() == "\\q":
             flush()
             _write_trace(exporter, trace_json)
+            runner.close()
             return 0
+        if line.strip() == "\\checkpoint":
+            flush()
+            if not runner.durable:
+                print("   not a durable session (start with --data-dir DIR)")
+                continue
+            try:
+                epoch = runner.checkpoint()
+                print(f"   checkpoint written (epoch {epoch})")
+            except SOSError as exc:
+                print(f"error: {exc}")
+            continue
         if line.strip() == "\\objects":
             for obj in database.objects.values():
                 print("  ", obj)
@@ -309,6 +358,24 @@ def main(argv: list[str]) -> int:
     trace_json, argv, ok = _take_option(argv, "--trace-json")
     if not ok:
         return 2
+    data_dir, argv, ok = _take_option(argv, "--data-dir")
+    if not ok:
+        return 2
+    raw_group, argv, ok = _take_option(argv, "--group-commit")
+    if not ok:
+        return 2
+    try:
+        group_commit = int(raw_group) if raw_group is not None else 1
+    except ValueError:
+        print(
+            f"error: --group-commit needs an integer, got {raw_group!r}",
+            file=sys.stderr,
+        )
+        return 2
+    if data_dir is not None and model_only:
+        print("error: --data-dir needs the full system (drop --model)",
+              file=sys.stderr)
+        return 2
     limits = []
     for flag in ("--max-steps", "--max-depth"):
         raw, argv, ok = _take_option(argv, flag)
@@ -324,9 +391,12 @@ def main(argv: list[str]) -> int:
     if files:
         return run_file(
             files[0], model_only, dump_to, (max_steps, max_depth), trace,
-            trace_json,
+            trace_json, data_dir, group_commit,
         )
-    return repl(model_only, (max_steps, max_depth), trace, trace_json)
+    return repl(
+        model_only, (max_steps, max_depth), trace, trace_json, data_dir,
+        group_commit,
+    )
 
 
 if __name__ == "__main__":

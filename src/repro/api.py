@@ -12,11 +12,20 @@ Everything user-facing goes through one call::
     traced = connect(trace=True)        # operator metrics on every result
     plan = traced.explain("cities select[pop > 100000]", analyze=True)
 
+    db = connect(data_dir="./mydb")     # durable: WAL + checkpoints
+    db.run('update cities := insert(cities, ...)')   # survives a crash
+    db.close()
+
 ``connect(model="model")`` gives a plain model-level interpreter (no
 optimizing translation — Section 2.4 semantics); everything else is the
 mixed-program system of Section 6.  Both hand back a :class:`Session`
 whose ``run`` / ``run_one`` / ``query`` all speak the same result shape,
 :class:`~repro.system.sos_system.SystemResult`.
+
+``connect(data_dir=...)`` opens (or creates) a *durable* database: the
+directory's state is recovered first (checkpoint + committed write-ahead
+log), and every mutating statement is then logged ahead of execution —
+see ``docs/DURABILITY.md``.
 
 The old ``make_relational_system`` / ``make_model_interpreter`` /
 ``make_relational_database`` factories still work but emit a
@@ -46,6 +55,9 @@ def connect(
     *,
     optimizer: Optional[Optimizer] = None,
     trace: object = None,
+    data_dir: Optional[str] = None,
+    group_commit: int = 1,
+    checkpoint_interval: Optional[int] = None,
 ) -> "Session":
     """Open a session over a freshly built database.
 
@@ -63,6 +75,21 @@ def connect(
         subscribes to the session's event bus; a
         :class:`~repro.observe.Tracer` is used as the bus itself.
         ``None``/``False`` leaves observability off (the default).
+    ``data_dir``
+        a directory for durable state (relational model only).  Opening
+        recovers whatever the directory holds (checkpoint + committed
+        write-ahead log); afterwards every mutating statement is logged
+        ahead of execution and acknowledged only once its commit record
+        is on disk.  See ``docs/DURABILITY.md``.
+    ``group_commit``
+        with ``data_dir``: fsync the log every Nth commit instead of every
+        commit (records are still flushed per statement, so a process
+        crash loses nothing acknowledged; only a machine failure can).
+    ``checkpoint_interval``
+        with ``data_dir``: committed statements between automatic
+        checkpoints (default
+        :data:`repro.durability.DEFAULT_CHECKPOINT_INTERVAL`; 0 disables
+        automatic checkpoints — call :meth:`Session.checkpoint`).
     """
     if model not in ("relational", "model"):
         raise CatalogError(f"unknown data model: {model!r}")
@@ -70,6 +97,11 @@ def connect(
     if model == "model":
         if optimizer is not None:
             raise CatalogError("the model-level interpreter takes no optimizer")
+        if data_dir is not None:
+            raise CatalogError(
+                "durable mode needs the relational system; "
+                "the model-level interpreter has no data_dir support"
+            )
         session = Session(_interpreter=build_model_interpreter(), _tracer=tracer)
     else:
         session = Session(
@@ -79,6 +111,20 @@ def connect(
         session.tracer.subscribe(trace)
     if trace:
         session.set_tracing(True)
+    if data_dir is not None:
+        from repro.durability import DEFAULT_CHECKPOINT_INTERVAL, DurabilityManager
+
+        manager = DurabilityManager(
+            data_dir,
+            group_commit=group_commit,
+            checkpoint_interval=(
+                DEFAULT_CHECKPOINT_INTERVAL
+                if checkpoint_interval is None
+                else checkpoint_interval
+            ),
+            tracer=session.tracer,
+        )
+        manager.attach(session.system)
     return session
 
 
@@ -131,6 +177,50 @@ class Session:
         """The session's event bus; subscribe callables to receive
         :class:`~repro.observe.Event` objects."""
         return self._tracer
+
+    @property
+    def durability(self):
+        """The attached :class:`~repro.durability.DurabilityManager`, or
+        ``None`` for an in-memory session."""
+        return self._system.durability if self._system is not None else None
+
+    @property
+    def durable(self) -> bool:
+        return self.durability is not None
+
+    # ------------------------------------------------------------ durability
+
+    def checkpoint(self) -> int:
+        """Snapshot the database and truncate the write-ahead log; returns
+        the new checkpoint epoch (durable sessions only)."""
+        manager = self.durability
+        if manager is None:
+            raise CatalogError("session has no data_dir; nothing to checkpoint")
+        return manager.checkpoint()
+
+    def flush(self) -> None:
+        """Fsync any commit records the group-commit policy left pending
+        (no-op for in-memory sessions)."""
+        manager = self.durability
+        if manager is not None:
+            manager.flush()
+
+    def close(self) -> None:
+        """Flush and close the durable log (no-op for in-memory sessions).
+
+        A closed durable session still answers queries, but mutating
+        statements raise — a mutation that could no longer be logged would
+        silently break the durability contract.
+        """
+        manager = self.durability
+        if manager is not None:
+            manager.close()
+
+    def __enter__(self) -> "Session":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
 
     # -------------------------------------------------------- observability
 

@@ -1,0 +1,31 @@
+"""Durable databases: write-ahead log, checkpoints, crash recovery.
+
+Opt in through the public API::
+
+    from repro.api import connect
+
+    db = connect(data_dir="./mydb")      # recovers, then logs every mutation
+    db.run('create cities : rel(city)')  # durable once run() returns
+    db.checkpoint()                      # snapshot + truncate the log
+    db.close()
+
+See ``docs/DURABILITY.md`` for the WAL format, the checkpoint protocol and
+the recovery algorithm, and ``tests/test_crash_matrix.py`` for the fault
+matrix that enforces them.
+"""
+
+from repro.durability.manager import (
+    DEFAULT_CHECKPOINT_INTERVAL,
+    DurabilityManager,
+    RecoveryError,
+)
+from repro.durability.wal import WalError, WalRecord, WriteAheadLog
+
+__all__ = [
+    "DEFAULT_CHECKPOINT_INTERVAL",
+    "DurabilityManager",
+    "RecoveryError",
+    "WalError",
+    "WalRecord",
+    "WriteAheadLog",
+]

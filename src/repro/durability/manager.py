@@ -1,0 +1,375 @@
+"""Durable databases: WAL + checkpoint + recovery over one data directory.
+
+A :class:`DurabilityManager` owns a directory holding, per *epoch* ``E``:
+
+``wal-<E>.log``
+    the statement-granular write-ahead log (:mod:`repro.durability.wal`);
+``checkpoint-<E>.sos``
+    a full-state snapshot — the database as a re-runnable program
+    (:func:`repro.system.dump.dump_program`) behind a checksummed header
+    line, so corruption is detected before a single statement replays.
+
+The invariant recovery relies on: ``checkpoint-<E>.sos`` captures the
+committed state at the moment epoch ``E`` began, and ``wal-<E>.log`` holds
+exactly the statements committed *since*.  :meth:`recover` therefore
+replays the newest valid checkpoint and then the committed suffix of its
+WAL; any uncommitted tail (crash mid-statement, aborted atomic program,
+torn frame) is discarded.
+
+Checkpointing rolls the epoch forward crash-safely:
+
+1. write ``checkpoint-<E+1>.tmp`` (header + dump), fsync — a crash here
+   leaves a ``.tmp`` recovery ignores (``wal.checkpoint.write`` site);
+2. atomically rename it to ``checkpoint-<E+1>.sos`` — the commit point of
+   the checkpoint (``wal.checkpoint.swap`` fires on both sides of the
+   rename, so the crash matrix covers either outcome);
+3. start ``wal-<E+1>.log`` and delete the epoch-``E`` files — a crash
+   before the deletions merely leaves garbage that the next checkpoint
+   cleans up, since recovery always picks the highest valid epoch.
+
+Group commit: ``group_commit=N`` fsyncs the log on every Nth commit record
+(and on checkpoint/close) instead of every commit.  Appends are still
+flushed to the OS per record, so a process crash loses nothing that was
+acknowledged; only the machine-failure window widens — the classic
+trade-off, documented in ``docs/DURABILITY.md``.
+"""
+
+from __future__ import annotations
+
+import os
+import zlib
+from contextlib import contextmanager
+from typing import TYPE_CHECKING, Iterator, Optional
+
+from repro.durability.wal import (
+    BEGIN,
+    COMMIT,
+    STMT,
+    WalRecord,
+    WriteAheadLog,
+    committed_statements,
+    scan,
+)
+from repro.errors import SOSError
+from repro.observe import Tracer
+from repro.storage.io import GLOBAL_PAGES, PageManager
+from repro.testing.faults import fault_point
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.system.sos_system import SOSSystem
+
+CHECKPOINT_HEADER = "-- sos-checkpoint"
+
+DEFAULT_CHECKPOINT_INTERVAL = 256
+"""Committed statements between automatic checkpoints (0 disables them)."""
+
+
+class RecoveryError(SOSError):
+    """Recovery could not rebuild the database from the data directory."""
+
+
+def _wal_path(data_dir: str, epoch: int) -> str:
+    return os.path.join(data_dir, f"wal-{epoch}.log")
+
+
+def _checkpoint_path(data_dir: str, epoch: int) -> str:
+    return os.path.join(data_dir, f"checkpoint-{epoch}.sos")
+
+
+def _epochs(data_dir: str, prefix: str, suffix: str) -> list[int]:
+    found = []
+    for name in os.listdir(data_dir):
+        if name.startswith(prefix) and name.endswith(suffix):
+            middle = name[len(prefix) : len(name) - len(suffix)]
+            if middle.isdigit():
+                found.append(int(middle))
+    return sorted(found)
+
+
+def encode_checkpoint(epoch: int, body: str) -> str:
+    """The checkpoint file content: checksummed header line + dump text."""
+    data = body.encode("utf-8")
+    return (
+        f"{CHECKPOINT_HEADER} epoch={epoch} crc32={zlib.crc32(data):08x} "
+        f"bytes={len(data)}\n" + body
+    )
+
+
+def decode_checkpoint(text: str) -> str:
+    """Validate a checkpoint file and return the dump body it carries."""
+    header, _, body = text.partition("\n")
+    if not header.startswith(CHECKPOINT_HEADER):
+        raise RecoveryError("checkpoint file lacks the sos-checkpoint header")
+    fields = dict(
+        part.split("=", 1) for part in header.split() if "=" in part
+    )
+    data = body.encode("utf-8")
+    if int(fields.get("bytes", -1)) != len(data):
+        raise RecoveryError("checkpoint body length does not match its header")
+    if fields.get("crc32") != f"{zlib.crc32(data):08x}":
+        raise RecoveryError("checkpoint body fails its checksum")
+    return body
+
+
+class DurabilityManager:
+    """Write-ahead logging, checkpointing and crash recovery for one
+    :class:`~repro.system.sos_system.SOSSystem`.
+
+    Attach with :meth:`attach` (``repro.api.connect(data_dir=...)`` does);
+    attaching recovers the directory's state into the system and then arms
+    statement logging on it.  The system calls :meth:`log_statement` before
+    executing a mutating statement and :meth:`commit` after it succeeds —
+    the commit does not return before the commit record is durable (flushed
+    always; fsynced per the group-commit policy).
+    """
+
+    def __init__(
+        self,
+        data_dir: str,
+        *,
+        group_commit: int = 1,
+        checkpoint_interval: int = DEFAULT_CHECKPOINT_INTERVAL,
+        tracer: Optional[Tracer] = None,
+        pages: Optional[PageManager] = None,
+    ):
+        if group_commit < 1:
+            raise ValueError(f"group_commit must be >= 1, got {group_commit}")
+        if checkpoint_interval < 0:
+            raise ValueError(
+                f"checkpoint_interval must be >= 0, got {checkpoint_interval}"
+            )
+        self.data_dir = data_dir
+        self.group_commit = group_commit
+        self.checkpoint_interval = checkpoint_interval
+        self.tracer = tracer if tracer is not None else Tracer()
+        self.pages = pages if pages is not None else GLOBAL_PAGES
+        self.system: Optional["SOSSystem"] = None
+        self.epoch = 0
+        self.active = False
+        self.replayed_statements = 0
+        self._wal: Optional[WriteAheadLog] = None
+        self._seq = 0
+        self._unsynced_commits = 0
+        self._since_checkpoint = 0
+        self._deferred: Optional[list[int]] = None
+
+    # ------------------------------------------------------------ attachment
+
+    def attach(self, system: "SOSSystem") -> "DurabilityManager":
+        """Recover the directory's state into ``system``, then arm logging."""
+        if self.system is not None:
+            raise RuntimeError("durability manager is already attached")
+        if system.durability is not None:
+            raise RuntimeError("system already has a durability manager")
+        os.makedirs(self.data_dir, exist_ok=True)
+        self.system = system
+        self.recover()
+        system.durability = self
+        self.active = True
+        return self
+
+    # -------------------------------------------------------------- recovery
+
+    def recover(self) -> None:
+        """Rebuild the attached system's state: newest valid checkpoint,
+        then the committed suffix of its WAL; open the WAL for appending
+        (truncating any torn tail)."""
+        assert self.system is not None
+        with self.tracer.span("durability.recover"):
+            checkpoints = _epochs(self.data_dir, "checkpoint-", ".sos")
+            self.epoch = max(
+                checkpoints + _epochs(self.data_dir, "wal-", ".log"),
+                default=0,
+            )
+            if checkpoints and checkpoints[-1] == self.epoch:
+                self._replay_checkpoint(_checkpoint_path(self.data_dir, self.epoch))
+            records, _ = scan(_wal_path(self.data_dir, self.epoch))
+            replay = committed_statements(records)
+            for record in replay:
+                fault_point("recovery.replay")
+                try:
+                    self.system.run_one(record.text)
+                except SOSError as exc:
+                    raise RecoveryError(
+                        f"committed WAL statement {record.seq} failed to "
+                        f"replay: {exc}"
+                    ) from exc
+            self.replayed_statements = len(replay)
+            self._seq = max((r.seq for r in records), default=0)
+            self._since_checkpoint = len(replay)
+            self._wal = WriteAheadLog(
+                _wal_path(self.data_dir, self.epoch), pages=self.pages
+            )
+            self.tracer.emit(
+                "durability.recovered",
+                epoch=self.epoch,
+                replayed=len(replay),
+            )
+
+    def _replay_checkpoint(self, path: str) -> None:
+        from repro.system.dump import restore_program
+
+        with open(path, "r", encoding="utf-8") as f:
+            body = decode_checkpoint(f.read())
+        try:
+            restore_program(self.system, body)
+        except SOSError as exc:
+            raise RecoveryError(f"checkpoint replay failed: {exc}") from exc
+
+    # --------------------------------------------------------------- logging
+
+    def log_statement(self, text: str) -> int:
+        """Append the begin/stmt records for one statement about to
+        execute; returns its log sequence number."""
+        assert self._wal is not None
+        self._seq += 1
+        seq = self._seq
+        with self.tracer.span("wal.append", seq=seq):
+            self._wal.append(WalRecord(BEGIN, seq))
+            self._wal.append(WalRecord(STMT, seq, text))
+        return seq
+
+    def commit(self, seq: int) -> None:
+        """Make statement ``seq`` durable: append its commit record and
+        fsync per the group-commit policy.  Inside :meth:`deferred` (an
+        atomic program), the record is held back until the program commits."""
+        if self._deferred is not None:
+            self._deferred.append(seq)
+            return
+        self._commit_records([seq])
+        self._maybe_checkpoint()
+
+    def _commit_records(self, seqs: list[int]) -> None:
+        assert self._wal is not None
+        with self.tracer.span("wal.commit", statements=len(seqs)):
+            for seq in seqs:
+                self._wal.append(WalRecord(COMMIT, seq))
+            self._unsynced_commits += len(seqs)
+            if self._unsynced_commits >= self.group_commit:
+                self._wal.sync()
+                self._unsynced_commits = 0
+        self._since_checkpoint += len(seqs)
+
+    @contextmanager
+    def deferred(self) -> Iterator[None]:
+        """Scope for an atomic program: commit records for its statements
+        are written (and fsynced) together on clean exit, and dropped — so
+        recovery discards the whole program — on failure."""
+        if self._deferred is not None:
+            raise RuntimeError("deferred commit scope is already open")
+        self._deferred = []
+        try:
+            pending = self._deferred
+            yield
+        except BaseException:
+            self._deferred = None
+            raise
+        else:
+            self._deferred = None
+            if pending:
+                self._commit_records(pending)
+                self._maybe_checkpoint()
+
+    # ------------------------------------------------------------ checkpoint
+
+    def _maybe_checkpoint(self) -> None:
+        if (
+            self.checkpoint_interval
+            and self._since_checkpoint >= self.checkpoint_interval
+            and self.system is not None
+            and self.system.database.transaction is None
+        ):
+            self.checkpoint()
+
+    def checkpoint(self) -> int:
+        """Snapshot the committed state and truncate the log (epoch roll).
+
+        Returns the new epoch.  Must not run mid-transaction — the dump
+        would capture uncommitted state."""
+        assert self.system is not None and self._wal is not None
+        if self.system.database.transaction is not None:
+            raise RuntimeError("cannot checkpoint inside an open transaction")
+        from repro.system.dump import dump_program
+
+        with self.tracer.span("wal.checkpoint", epoch=self.epoch + 1):
+            self._wal.sync()
+            self._unsynced_commits = 0
+            new_epoch = self.epoch + 1
+            body = encode_checkpoint(new_epoch, dump_program(self.system.database))
+            tmp = _checkpoint_path(self.data_dir, new_epoch) + ".tmp"
+            data = body.encode("utf-8")
+            half = max(1, len(data) // 2)
+            with open(tmp, "wb") as f:
+                f.write(data[:half])
+                f.flush()
+                # Torn-checkpoint site: half the snapshot is on disk under
+                # the .tmp name recovery ignores.
+                fault_point("wal.checkpoint.write")
+                f.write(data[half:])
+                f.flush()
+                os.fsync(f.fileno())
+            self.pages.log_write(len(data))
+            self.pages.fsync()
+            # Crash before the rename: the old epoch stays authoritative.
+            fault_point("wal.checkpoint.swap")
+            os.replace(tmp, _checkpoint_path(self.data_dir, new_epoch))
+            # Crash after the rename: the new checkpoint is authoritative
+            # and its WAL simply does not exist yet (nothing to replay).
+            fault_point("wal.checkpoint.swap")
+            old_wal, old_epoch = self._wal, self.epoch
+            self.epoch = new_epoch
+            self._wal = WriteAheadLog(
+                _wal_path(self.data_dir, new_epoch), pages=self.pages
+            )
+            self._wal.sync()
+            old_wal.close(sync=False)
+            self._remove_stale(keep=new_epoch)
+            self._since_checkpoint = 0
+            self.tracer.emit("durability.checkpoint", epoch=new_epoch)
+        return new_epoch
+
+    def _remove_stale(self, keep: int) -> None:
+        """Delete files of epochs before ``keep`` (best-effort: a crash
+        leaves garbage the next checkpoint retries, never lost state)."""
+        for epoch in _epochs(self.data_dir, "checkpoint-", ".sos"):
+            if epoch < keep:
+                _unlink_quietly(_checkpoint_path(self.data_dir, epoch))
+        for epoch in _epochs(self.data_dir, "wal-", ".log"):
+            if epoch < keep:
+                _unlink_quietly(_wal_path(self.data_dir, epoch))
+        for name in os.listdir(self.data_dir):
+            if name.endswith(".sos.tmp"):
+                _unlink_quietly(os.path.join(self.data_dir, name))
+
+    # -------------------------------------------------------------- lifecycle
+
+    def flush(self) -> None:
+        """Fsync any commit records the group-commit policy left pending."""
+        if self._wal is not None and self._unsynced_commits:
+            self._wal.sync()
+            self._unsynced_commits = 0
+
+    def close(self) -> None:
+        """Flush and close the log; the manager is unusable afterwards."""
+        self.active = False
+        if self._wal is not None:
+            self._wal.close(sync=True)
+            self._wal = None
+
+    @property
+    def wal(self) -> Optional[WriteAheadLog]:
+        return self._wal
+
+    def __repr__(self) -> str:
+        state = "active" if self.active else "closed"
+        return (
+            f"<DurabilityManager dir={self.data_dir!r} epoch={self.epoch} "
+            f"{state}>"
+        )
+
+
+def _unlink_quietly(path: str) -> None:
+    try:
+        os.unlink(path)
+    except OSError:
+        pass

@@ -14,36 +14,65 @@ from dataclasses import dataclass
 
 @dataclass(slots=True)
 class IOStats:
-    """Counters of simulated page accesses."""
+    """Counters of simulated page accesses and real log-file I/O.
+
+    ``reads`` / ``writes`` / ``pages_allocated`` count simulated page
+    accesses of the storage structures; ``log_writes`` / ``log_bytes`` /
+    ``fsyncs`` count *real* append-file operations of the durability layer
+    (WAL frames, checkpoint files), so benchmarks can report the write
+    amplification and sync cost of durable mode next to the page numbers.
+    """
 
     reads: int = 0
     writes: int = 0
     pages_allocated: int = 0
+    log_writes: int = 0
+    log_bytes: int = 0
+    fsyncs: int = 0
 
     @property
     def total(self) -> int:
         return self.reads + self.writes
 
     def snapshot(self) -> "IOStats":
-        return IOStats(self.reads, self.writes, self.pages_allocated)
+        return IOStats(
+            self.reads,
+            self.writes,
+            self.pages_allocated,
+            self.log_writes,
+            self.log_bytes,
+            self.fsyncs,
+        )
 
     def delta(self, earlier: "IOStats") -> "IOStats":
         return IOStats(
             self.reads - earlier.reads,
             self.writes - earlier.writes,
             self.pages_allocated - earlier.pages_allocated,
+            self.log_writes - earlier.log_writes,
+            self.log_bytes - earlier.log_bytes,
+            self.fsyncs - earlier.fsyncs,
         )
 
     def reset(self) -> None:
         self.reads = 0
         self.writes = 0
         self.pages_allocated = 0
+        self.log_writes = 0
+        self.log_bytes = 0
+        self.fsyncs = 0
 
     def __str__(self) -> str:
-        return (
+        text = (
             f"reads={self.reads} writes={self.writes} "
             f"pages={self.pages_allocated}"
         )
+        if self.log_writes or self.fsyncs:
+            text += (
+                f" log_writes={self.log_writes} log_bytes={self.log_bytes} "
+                f"fsyncs={self.fsyncs}"
+            )
+        return text
 
 
 class PageManager:
@@ -74,6 +103,17 @@ class PageManager:
 
     def write(self, page_id: int) -> None:
         self.stats.writes += 1
+
+    # ---- durability-layer accounting (real file I/O, not simulated pages)
+
+    def log_write(self, nbytes: int) -> None:
+        """Account one append to a durability file (WAL frame, checkpoint)."""
+        self.stats.log_writes += 1
+        self.stats.log_bytes += nbytes
+
+    def fsync(self) -> None:
+        """Account one fsync issued by the durability layer."""
+        self.stats.fsyncs += 1
 
     def measure(self) -> "_Measurement":
         """Context manager yielding the I/O delta of the enclosed block."""

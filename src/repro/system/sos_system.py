@@ -225,6 +225,11 @@ class SOSSystem:
         self.tracer = tracer if tracer is not None else Tracer()
         self._collect = False
         self._feedback = False
+        #: The attached :class:`~repro.durability.DurabilityManager`, if the
+        #: system runs in durable mode (``connect(data_dir=...)``).  While
+        #: attached and active, every mutating statement is written ahead to
+        #: the log and acknowledged only once its commit record is durable.
+        self.durability = None
 
     # ------------------------------------------------------------ observability
 
@@ -277,8 +282,18 @@ class SOSSystem:
         Errors escape as :class:`~repro.errors.StatementError` — still
         instances of their original class — carrying the statement index,
         source text and pipeline phase.
+
+        In durable mode an atomic program is also atomic *on disk*: the
+        commit records of its statements are written together after the
+        program transaction commits, so a crash (or failure) mid-program
+        makes recovery discard the whole program.
         """
         if atomic:
+            dur = self.durability
+            if dur is not None and dur.active:
+                with dur.deferred():
+                    with program_transaction(self.database):
+                        return self._run_statements(source)
             with program_transaction(self.database):
                 return self._run_statements(source)
         return self._run_statements(source)
@@ -300,7 +315,28 @@ class SOSSystem:
                     statement = self.interpreter.make_parser().parse_statement(
                         chunk
                     )
-                return self.execute(statement, timings=timings)
+                dur = self.durability
+                log_seq = None
+                if dur is not None and not isinstance(statement, QueryStmt):
+                    if not dur.active:
+                        raise CatalogError(
+                            "durable session is closed; reopen with "
+                            "connect(data_dir=...) to mutate it"
+                        )
+                    # Write-ahead: the statement text reaches the log before
+                    # any in-memory mutation; the commit record is appended
+                    # (and made durable per the group-commit policy) only
+                    # after the statement transaction has committed.
+                    with self._phase(timings, "wal"):
+                        log_seq = dur.log_statement(chunk)
+                result = self.execute(statement, timings=timings)
+                if log_seq is not None:
+                    with self._phase(timings, "wal"):
+                        dur.commit(log_seq)
+                    timings["total"] = sum(
+                        v for k, v in timings.items() if k != "total"
+                    )
+                return result
         except SOSError as exc:
             raise wrap_statement_error(exc, index=index, source=chunk) from exc
         except RecursionError as exc:

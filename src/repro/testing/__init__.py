@@ -8,10 +8,12 @@ or an interactive session.
 
 from repro.testing.faults import (
     FAULT_SITES,
+    WAL_FAULT_SITES,
     FaultPlan,
     InjectedFault,
     arm,
     clear_faults,
+    disarm,
     fault_point,
     inject,
 )
@@ -19,11 +21,13 @@ from repro.testing.state import database_fingerprint, value_fingerprint
 
 __all__ = [
     "FAULT_SITES",
+    "WAL_FAULT_SITES",
     "FaultPlan",
     "InjectedFault",
     "arm",
     "clear_faults",
     "database_fingerprint",
+    "disarm",
     "fault_point",
     "inject",
     "value_fingerprint",

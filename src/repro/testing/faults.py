@@ -35,7 +35,20 @@ site                      fires on
 ``evaluator.apply``       every operator application in the evaluator
 ``database.set_value``    every object (re)binding in the catalog
 ``optimizer.rule``        every accepted rewrite in the rule engine
+``wal.append``            mid-frame in every WAL record append (the first
+                          half of the frame is flushed, the rest is not —
+                          a genuine torn write)
+``wal.fsync``             before every WAL fsync
+``wal.checkpoint.write``  mid-write of the checkpoint temp file
+``wal.checkpoint.swap``   on both sides of the atomic checkpoint rename
+``recovery.replay``       before each committed WAL statement replayed
+                          during recovery
 ========================  ====================================================
+
+When an armed site fires while metric collection is on, the
+``fault.injected`` and ``fault.<site>`` observe counters are bumped, so
+traces and ``explain(analyze=True)`` reports show the injected fault
+rather than a bare exception.
 """
 
 from __future__ import annotations
@@ -44,6 +57,7 @@ from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Iterator, Optional
 
+from repro import observe
 from repro.errors import SOSError
 
 FAULT_SITES: tuple[str, ...] = (
@@ -65,7 +79,21 @@ FAULT_SITES: tuple[str, ...] = (
     "evaluator.apply",
     "database.set_value",
     "optimizer.rule",
+    "wal.append",
+    "wal.fsync",
+    "wal.checkpoint.write",
+    "wal.checkpoint.swap",
+    "recovery.replay",
 )
+
+WAL_FAULT_SITES: tuple[str, ...] = (
+    "wal.append",
+    "wal.fsync",
+    "wal.checkpoint.write",
+    "wal.checkpoint.swap",
+    "recovery.replay",
+)
+"""The durability-layer sites — the crash matrix iterates exactly these."""
 
 
 class InjectedFault(SOSError):
@@ -90,6 +118,9 @@ class FaultPlan:
         self.hits += 1
         if self.hits == self.at:
             self.triggered = True
+            if observe.ENABLED:
+                observe.incr("fault.injected")
+                observe.incr(f"fault.{self.site}")
             raise InjectedFault(
                 f"injected fault at {self.site} (hit {self.at})"
             )

@@ -126,3 +126,39 @@ class TestHarness:
             baseline["benchmarks"]["equijoin_stats"]["counters"]
             == current["benchmarks"]["equijoin_stats"]["counters"]
         )
+
+
+class TestDurabilitySuite:
+    def test_suite_selection(self):
+        with pytest.raises(KeyError):
+            harness.run(smoke=True, suite="nope")
+        with pytest.raises(SystemExit):
+            harness.run(smoke=True, only=["b1_range"], suite="durability")
+
+    def test_durable_insert_counters_are_deterministic(self):
+        doc = harness.run(smoke=True, only=["durable_insert"], suite="durability")
+        assert doc["meta"]["suite"] == "durability"
+        counters = doc["benchmarks"]["durable_insert"]["counters"]
+        # 4 setup + 30 row statements, three records each
+        assert counters["log_writes"] == 34 * 3
+        assert counters["fsyncs"] == 34 + 1  # one per commit + the close
+        assert counters["rows"] == 30
+
+    def test_group_commit_batches_fsyncs(self):
+        doc = harness.run(smoke=True, only=["group_commit"], suite="durability")
+        counters = doc["benchmarks"]["group_commit"]["counters"]
+        assert counters["log_writes"] == 34 * 3  # identical log traffic
+        assert counters["fsyncs"] == 34 // 8 + 1  # batched + the close
+
+    def test_committed_durability_baseline_matches_current_counters(self):
+        """Same contract as the core baseline: the committed
+        BENCH_durability.json must describe the code as it is."""
+        import pathlib
+
+        root = pathlib.Path(__file__).resolve().parent.parent
+        baseline = json.loads((root / "BENCH_durability.json").read_text())
+        current = harness.run(smoke=True, only=["recovery"], suite="durability")
+        assert (
+            baseline["benchmarks"]["recovery"]["counters"]
+            == current["benchmarks"]["recovery"]["counters"]
+        )

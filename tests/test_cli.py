@@ -225,3 +225,48 @@ class TestStatsAndTraces:
         assert result.returncode == 0, result.stderr
         assert "card:" in result.stdout
         assert "q=" in result.stdout
+
+
+class TestDurableMode:
+    def test_file_run_persists_and_reopens(self, tmp_path, program_file):
+        data_dir = tmp_path / "db"
+        first = run_cli(["--data-dir", str(data_dir), str(program_file)])
+        assert first.returncode == 0, first.stderr
+        assert f"-- durable mode: {data_dir} (epoch 0, 0 statement(s) replayed)" in first.stdout
+        # reopen: the program's five mutating statements replay, the
+        # query (not logged) does not
+        again = tmp_path / "again.sos"
+        again.write_text("query cities select[pop >= 1000000]\n")
+        second = run_cli(["--data-dir", str(data_dir), str(again)])
+        assert second.returncode == 0, second.stderr
+        assert "5 statement(s) replayed" in second.stdout
+        assert "(1 row(s))" in second.stdout
+
+    def test_repl_checkpoint_command(self, tmp_path):
+        data_dir = tmp_path / "db"
+        result = run_cli(
+            ["--data-dir", str(data_dir)],
+            stdin="create n : int\nupdate n := 41\n\\checkpoint\n\\q\n",
+        )
+        assert result.returncode == 0, result.stderr
+        assert "checkpoint written (epoch 1)" in result.stdout
+        assert (data_dir / "checkpoint-1.sos").exists()
+        reopened = run_cli(
+            ["--data-dir", str(data_dir)], stdin="query n + 1\n\\q\n"
+        )
+        assert reopened.returncode == 0, reopened.stderr
+        assert "epoch 1, 0 statement(s) replayed" in reopened.stdout
+        assert "42" in reopened.stdout
+
+    def test_data_dir_rejects_model_mode(self, tmp_path):
+        result = run_cli(["--model", "--data-dir", str(tmp_path / "db")])
+        assert result.returncode != 0
+        assert "data-dir" in result.stderr
+
+    def test_corrupt_checkpoint_reported_as_error(self, tmp_path):
+        data_dir = tmp_path / "db"
+        data_dir.mkdir()
+        (data_dir / "checkpoint-1.sos").write_text("not a checkpoint\n")
+        result = run_cli(["--data-dir", str(data_dir)], stdin="\\q\n")
+        assert result.returncode == 2
+        assert "sos-checkpoint" in result.stderr

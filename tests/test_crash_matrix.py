@@ -1,0 +1,200 @@
+"""The crash matrix: kill the process at every durability fault site and
+prove recovery lands on exactly the state after the last committed
+statement.
+
+Crash model: an :class:`InjectedFault` at a WAL site plays the part of the
+process dying mid-write (the bytes written before the site are flushed to
+the OS, the bytes after it are not); "rebooting" is simply abandoning the
+session object — no ``close()``, which would flush — and calling
+``connect(data_dir=...)`` again.  Expected states are built by replaying
+the committed statement prefix on a fresh in-memory session and comparing
+``dump()`` texts, so the assertion covers the catalog, every stored tuple
+and the rep entries at once.
+
+Per-site ground truth (``group_commit=1``, so one statement is three
+appends — begin, stmt, commit — and one fsync):
+
+``wal.append`` hit 1/2
+    the begin/stmt record is torn; the statement never executed, recovery
+    truncates the tail → last committed state.
+``wal.append`` hit 3
+    the *commit* record is torn; the statement executed but was never
+    acknowledged (``run_one`` raised) → recovery discards it.
+``wal.fsync``
+    fires before the ``fsync`` syscall, but the commit record is already
+    flushed to the OS — a process crash loses nothing → the statement
+    survives even though it was not acknowledged (allowed: durability
+    promises acknowledged ⇒ survives, not the converse).
+``wal.checkpoint.write`` / ``wal.checkpoint.swap`` hit 1
+    the snapshot dies as a ``.tmp`` file (or just before the rename);
+    the old epoch stays authoritative → state unchanged.
+``wal.checkpoint.swap`` hit 2
+    the rename happened; the new checkpoint is authoritative and its WAL
+    does not exist yet → state unchanged, epoch advanced.
+``recovery.replay``
+    the crash happens *during recovery*; a second recovery attempt must
+    still land on the committed state (recovery is idempotent because it
+    never writes to the log it replays).
+"""
+
+import os
+
+import pytest
+
+from repro.api import connect
+from repro.testing import InjectedFault, clear_faults, inject
+
+SETUP = [
+    "type item = tuple(<(k, int), (name, string)>)",
+    "create items : rel(item)",
+    "create items_rep : btree(item, k, int)",
+    "update rep := insert(rep, items, items_rep)",
+    'update items := insert(items, mktuple[<(k, 1), (name, "one")>])',
+    'update items := insert(items, mktuple[<(k, 2), (name, "two")>])',
+]
+VICTIM = 'update items := insert(items, mktuple[<(k, 3), (name, "three")>])'
+VICTIM2 = 'update items := insert(items, mktuple[<(k, 4), (name, "four")>])'
+
+
+@pytest.fixture(autouse=True)
+def _clean_faults():
+    yield
+    clear_faults()
+
+
+def expected_dump(statements):
+    """The dump an in-memory session produces after ``statements``."""
+    db = connect()
+    for text in statements:
+        db.run_one(text)
+    return db.dump()
+
+
+def open_db(tmp_path, **kwargs):
+    kwargs.setdefault("checkpoint_interval", 0)
+    return connect(data_dir=str(tmp_path / "db"), **kwargs)
+
+
+def prepared(tmp_path):
+    db = open_db(tmp_path)
+    for text in SETUP:
+        db.run_one(text)
+    return db
+
+
+# --------------------------------------------------------------------------
+# wal.append — torn log records
+# --------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("at", [1, 2], ids=["begin-record", "stmt-record"])
+def test_torn_append_loses_unexecuted_statement(tmp_path, at):
+    db = prepared(tmp_path)
+    with inject("wal.append", at=at) as plan:
+        with pytest.raises(InjectedFault):
+            db.run_one(VICTIM)
+        assert plan.triggered
+    # crash: abandon the session, reboot the directory
+    recovered = open_db(tmp_path)
+    assert recovered.dump() == expected_dump(SETUP)
+    # the truncated log must remain appendable: commit one more statement
+    # and survive another reboot
+    recovered.run_one(VICTIM2)
+    again = open_db(tmp_path)
+    assert again.dump() == expected_dump(SETUP + [VICTIM2])
+
+
+def test_torn_commit_record_discards_executed_statement(tmp_path):
+    db = prepared(tmp_path)
+    with inject("wal.append", at=3) as plan:  # hit 3 = the commit record
+        with pytest.raises(InjectedFault):
+            db.run_one(VICTIM)
+        assert plan.triggered
+    recovered = open_db(tmp_path)
+    # executed in the old session, but never acknowledged: gone after crash
+    assert recovered.dump() == expected_dump(SETUP)
+
+
+# --------------------------------------------------------------------------
+# wal.fsync — crash between flush and fsync
+# --------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("at", [1, 2], ids=["first-fsync", "second-fsync"])
+def test_crash_at_fsync_keeps_flushed_commits(tmp_path, at):
+    db = prepared(tmp_path)
+    victims = [VICTIM, VICTIM2][:at]
+    with inject("wal.fsync", at=at) as plan:
+        for text in victims[:-1]:
+            db.run_one(text)
+        with pytest.raises(InjectedFault):
+            db.run_one(victims[-1])
+        assert plan.triggered
+    recovered = open_db(tmp_path)
+    # every commit record was flushed before the fsync site fired
+    assert recovered.dump() == expected_dump(SETUP + victims)
+
+
+# --------------------------------------------------------------------------
+# checkpoint sites — the epoch roll is crash-safe on either side
+# --------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("at", [1, 2], ids=["first-hit", "second-hit"])
+def test_torn_checkpoint_write_leaves_old_epoch_authoritative(tmp_path, at):
+    db = prepared(tmp_path)
+    with inject("wal.checkpoint.write", at=at) as plan:
+        for _ in range(at - 1):
+            db.checkpoint()  # below the trigger count: succeeds
+        with pytest.raises(InjectedFault):
+            db.checkpoint()
+        assert plan.triggered
+    # the half-written snapshot is a .tmp file recovery must ignore
+    data_dir = tmp_path / "db"
+    assert any(name.endswith(".tmp") for name in os.listdir(data_dir))
+    recovered = open_db(tmp_path)
+    assert recovered.durability.epoch == at - 1
+    assert recovered.dump() == expected_dump(SETUP)
+
+
+def test_crash_before_checkpoint_rename(tmp_path):
+    db = prepared(tmp_path)
+    with inject("wal.checkpoint.swap", at=1) as plan:
+        with pytest.raises(InjectedFault):
+            db.checkpoint()
+        assert plan.triggered
+    recovered = open_db(tmp_path)
+    assert recovered.durability.epoch == 0  # old epoch still authoritative
+    assert recovered.dump() == expected_dump(SETUP)
+
+
+def test_crash_after_checkpoint_rename(tmp_path):
+    db = prepared(tmp_path)
+    with inject("wal.checkpoint.swap", at=2) as plan:
+        with pytest.raises(InjectedFault):
+            db.checkpoint()
+        assert plan.triggered
+    recovered = open_db(tmp_path)
+    # the rename committed the checkpoint: new epoch, nothing to replay
+    assert recovered.durability.epoch == 1
+    assert recovered.durability.replayed_statements == 0
+    assert recovered.dump() == expected_dump(SETUP)
+
+
+# --------------------------------------------------------------------------
+# recovery.replay — crashing during recovery itself
+# --------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("at", [1, 2], ids=["first-replay", "second-replay"])
+def test_crash_during_recovery_then_recover_again(tmp_path, at):
+    prepared(tmp_path)  # abandoned: simulate the original process dying
+    with inject("recovery.replay", at=at) as plan:
+        with pytest.raises(InjectedFault):
+            open_db(tmp_path)
+        assert plan.triggered
+    # recovery never writes to the log it replays, so a second attempt
+    # after the "reboot" sees the identical committed prefix
+    recovered = open_db(tmp_path)
+    assert recovered.durability.replayed_statements == len(SETUP)
+    assert recovered.dump() == expected_dump(SETUP)
