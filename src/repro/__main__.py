@@ -11,6 +11,9 @@ Usage::
     python -m repro --max-depth N ...    # arm the recursion-depth limit
     python -m repro --data-dir DIR ...   # durable database (WAL + recovery)
     python -m repro --group-commit N ... # fsync every Nth commit (with --data-dir)
+    python -m repro lint                 # static analysis of bundled models + rules
+    python -m repro lint --strict        # exit nonzero on error diagnostics
+    python -m repro lint --json F.sos    # lint spec files, JSON report
 
 The REPL accepts the six statement forms; a statement ends at the end of a
 line unless continued by indentation on the following lines (same rule as
@@ -349,7 +352,71 @@ def _take_option(argv: list[str], name: str) -> tuple[str | None, list[str], boo
     return value, argv[:index] + argv[index + 2 :], True
 
 
+def run_lint(argv: list[str]) -> int:
+    """``python -m repro lint [--strict] [--json] [files...]``.
+
+    Without files, lints every bundled model signature, the full relational
+    system signature, and the standard rule set against it.  With files,
+    each is parsed as specification text and linted (``SOS...`` codes only).
+    ``--strict`` exits nonzero when any error-severity diagnostic remains.
+    """
+    strict = "--strict" in argv
+    as_json = "--json" in argv
+    unknown = [
+        a for a in argv if a.startswith("-") and a not in ("--strict", "--json")
+    ]
+    if unknown:
+        print(f"error: unknown lint option(s): {', '.join(unknown)}",
+              file=sys.stderr)
+        return 2
+    from repro.lint import LintReport, lint_database, lint_signature, lint_spec
+
+    files = [a for a in argv if not a.startswith("-")]
+    report = LintReport()
+    if files:
+        for path in files:
+            try:
+                with open(path, "r", encoding="utf-8") as handle:
+                    text = handle.read()
+            except OSError as exc:
+                print(f"error: cannot read {path}: {exc}", file=sys.stderr)
+                return 2
+            report.extend(lint_spec(text, source=path))
+    else:
+        from repro.models import (
+            complex_object_model,
+            graph_model,
+            nested_relational_model,
+            relational_model,
+        )
+        from repro.optimizer.standard_rules import standard_optimizer
+        from repro.system.sos_system import build_relational_system
+
+        for name, factory in (
+            ("models/relational", relational_model),
+            ("models/nested", nested_relational_model),
+            ("models/complex_objects", complex_object_model),
+            ("models/graph", graph_model),
+        ):
+            sos, _ = factory()
+            report.extend(lint_signature(sos, source=name))
+        system = build_relational_system()
+        report.extend(
+            lint_database(
+                system.database,
+                standard_optimizer(),
+                source="system/relational",
+            )
+        )
+    print(report.render_json() if as_json else report.render_text())
+    if strict and not report.ok:
+        return 1
+    return 0
+
+
 def main(argv: list[str]) -> int:
+    if argv and argv[0] == "lint":
+        return run_lint(argv[1:])
     model_only = "--model" in argv
     trace = "--trace" in argv
     dump_to, argv, ok = _take_option(argv, "--dump")

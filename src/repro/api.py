@@ -36,7 +36,7 @@ from __future__ import annotations
 
 from typing import Callable, Optional
 
-from repro.errors import CatalogError
+from repro.errors import CatalogError, LintError
 from repro.observe import Event, Tracer
 from repro.optimizer import Optimizer
 from repro.system.dump import dump_program, restore_program
@@ -58,6 +58,7 @@ def connect(
     data_dir: Optional[str] = None,
     group_commit: int = 1,
     checkpoint_interval: Optional[int] = None,
+    lint: Optional[str] = None,
 ) -> "Session":
     """Open a session over a freshly built database.
 
@@ -90,9 +91,20 @@ def connect(
         checkpoints (default
         :data:`repro.durability.DEFAULT_CHECKPOINT_INTERVAL`; 0 disables
         automatic checkpoints — call :meth:`Session.checkpoint`).
+    ``lint``
+        ``"strict"`` runs the static analyzer (:mod:`repro.lint`) over the
+        session's signature and rules right after building and raises
+        :class:`~repro.errors.LintError` on error-severity diagnostics;
+        ``"warn"`` prints them as :mod:`warnings` instead.  ``None`` (the
+        default) skips the analysis; :meth:`Session.lint` runs it on
+        demand.  See ``docs/STATIC_ANALYSIS.md``.
     """
     if model not in ("relational", "model"):
         raise CatalogError(f"unknown data model: {model!r}")
+    if lint not in (None, "strict", "warn"):
+        raise CatalogError(
+            f"lint must be None, 'strict' or 'warn', not {lint!r}"
+        )
     tracer = trace if isinstance(trace, Tracer) else None
     if model == "model":
         if optimizer is not None:
@@ -125,6 +137,19 @@ def connect(
             tracer=session.tracer,
         )
         manager.attach(session.system)
+    if lint is not None:
+        report = session.lint()
+        if lint == "strict" and not report.ok:
+            raise LintError(
+                "static analysis found "
+                f"{len(report.errors)} error(s):\n{report.render_text()}",
+                report,
+            )
+        if lint == "warn" and len(report):
+            import warnings
+
+            for diagnostic in report.sorted():
+                warnings.warn(diagnostic.render(), stacklevel=2)
     return session
 
 
@@ -242,6 +267,20 @@ class Session:
         tracing to also be on — see :meth:`SOSSystem.set_feedback`)."""
         if self._system is not None:
             self._system.set_feedback(enabled)
+
+    # ------------------------------------------------------------------ lint
+
+    def lint(self) -> "LintReport":
+        """Run the static analyzer over this session's signature — and,
+        for relational sessions, the optimizer's rules against it.
+        Returns the :class:`~repro.lint.LintReport`; raises nothing."""
+        from repro.lint import lint_database
+
+        return lint_database(
+            self.database,
+            self._system.optimizer if self._system is not None else None,
+            source=repr(self),
+        )
 
     # ------------------------------------------------------------ statistics
 

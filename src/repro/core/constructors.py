@@ -13,7 +13,7 @@ messages can echo the paper's notation.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Callable, Sequence
 
 from repro.core.kinds import Kind
@@ -53,6 +53,9 @@ class TypeConstructor:
     level: str = "model"
     """Which level this constructor belongs to: ``model``, ``rep``, or
     ``hybrid`` (paper Section 6)."""
+    span: tuple[int, int] | None = field(default=None, compare=False)
+    """``(line, column)`` of the declaring spec line, when parsed from text;
+    diagnostics anchor here."""
 
     @property
     def is_constant(self) -> bool:

@@ -201,6 +201,9 @@ class OperatorSpec:
     message or ``None``.  This expresses second-level quantifications like
     ``forall (attrname, dtype) in list`` relating an identifier operand to
     the attribute list of a tuple type (``modify``, ``replace``)."""
+    span: Optional[tuple[int, int]] = field(default=None, compare=False)
+    """``(line, column)`` of the declaring spec line, when parsed from text
+    (:mod:`repro.spec.parser`); diagnostics anchor here."""
 
     def __str__(self) -> str:
         args = " x ".join(format_sort(s) for s in self.arg_sorts)

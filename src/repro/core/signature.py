@@ -206,6 +206,8 @@ class TypeSystem:
 
     def has_kind(self, t: Type, kind: Kind | UnionSort | str) -> bool:
         """Does type ``t`` belong to ``kind`` (or to any kind of a union)?"""
+        if getattr(t, "wildcard", False):
+            return True
         if isinstance(kind, str):
             kind = self.kind(kind)
         if isinstance(kind, UnionSort):
@@ -227,6 +229,8 @@ class TypeSystem:
         Returns ``t`` for chaining; raises :class:`TypeFormationError`
         otherwise.  Function and product types are checked componentwise.
         """
+        if getattr(t, "wildcard", False):
+            return t
         if isinstance(t, TypeApp):
             overloads = self.overloads(t.constructor)
             matching = [c for c in overloads if len(c.arg_sorts) == len(t.args)]

@@ -195,16 +195,22 @@ class SignatureBuilder:
         result_kind: Union[Kind, str],
         spec: Optional[ConstructorSpec] = None,
         level: str = "model",
+        span: Optional[tuple[int, int]] = None,
     ) -> TypeConstructor:
         if isinstance(result_kind, str):
             result_kind = self.sos.type_system.kind(result_kind)
-        ctor = TypeConstructor(name, tuple(arg_sorts), result_kind, spec, level)
+        ctor = TypeConstructor(name, tuple(arg_sorts), result_kind, spec, level, span)
         return self.sos.type_system.add_constructor(ctor)
 
     # -- subtypes ---------------------------------------------------------------
 
-    def subtype(self, sub: TypePattern, sup: TypePattern) -> "SignatureBuilder":
-        self.sos.subtypes.add(SubtypeRule(sub, sup))
+    def subtype(
+        self,
+        sub: TypePattern,
+        sup: TypePattern,
+        span: Optional[tuple[int, int]] = None,
+    ) -> "SignatureBuilder":
+        self.sos.subtypes.add(SubtypeRule(sub, sup, span))
         return self
 
     # -- operators ---------------------------------------------------------------
@@ -222,6 +228,7 @@ class SignatureBuilder:
         doc: str = "",
         eager: bool = False,
         post_check: Optional[Callable] = None,
+        span: Optional[tuple[int, int]] = None,
     ) -> OperatorSpec:
         if result is None:
             raise SpecificationError(f"operator {name} needs a result sort")
@@ -237,6 +244,7 @@ class SignatureBuilder:
             impl=impl,
             eager=eager,
             post_check=post_check,
+            span=span,
         )
         return self.sos.add_operator(spec)
 

@@ -251,6 +251,12 @@ class TypeChecker:
                 return self._check_apply(Apply(head, term.args), env)
         term.fn = self._check(term.fn, env)
         fn_type = term.fn.type
+        if getattr(fn_type, "wildcard", False):
+            # Calling a lint wildcard: the arguments are checked on their
+            # own; the result is again unconstrained.
+            term.args = tuple(self._check(a, env) for a in term.args)
+            term.type = fn_type
+            return term
         if not isinstance(fn_type, FunType):
             raise TypeCheckError(
                 f"{format_term(term.fn)} is not a function value "
@@ -591,6 +597,12 @@ class TypeChecker:
     def _match_type_direct(
         self, t: Type, sort: Sort, binds: Bindings, spec: OperatorSpec
     ) -> None:
+        if getattr(t, "wildcard", False):
+            # A lint wildcard (repro.lint.symbolic.AnyType) matches every
+            # sort; bind the names the sort would have bound so result
+            # sorts still resolve during the symbolic check.
+            self._bind_wildcard(t, sort, binds, spec)
+            return
         if isinstance(sort, BindSort):
             self._match_type_direct(t, sort.sort, binds, spec)
             binds.setdefault(sort.name, t)
@@ -672,6 +684,23 @@ class TypeChecker:
                     )
             return
         raise _Failure(f"cannot match a type against sort {sort!r}")
+
+    def _bind_wildcard(
+        self, t: Type, sort: Sort, binds: Bindings, spec: OperatorSpec
+    ) -> None:
+        """Bind the names ``sort`` would bind when matched by a wildcard."""
+        if isinstance(sort, BindSort):
+            binds.setdefault(sort.name, t)
+            self._bind_wildcard(t, sort.sort, binds, spec)
+            return
+        if isinstance(sort, VarSort):
+            binds.setdefault(sort.name, t)
+            quantifier = self._quantifier_for(sort.name, spec)
+            if quantifier is not None and quantifier.pattern is not None:
+                from repro.core.patterns import pattern_variables
+
+                for name in pattern_variables(quantifier.pattern):
+                    binds.setdefault(name, t)
 
     def _quantifier_for(self, name: str, spec: OperatorSpec) -> Optional[Quantifier]:
         for quantifier in spec.quantifiers:

@@ -178,6 +178,8 @@ def _format_arg(arg: TypeArg) -> str:
 
 def format_type(t: Type) -> str:
     """Render a type term in the paper's concrete notation."""
+    if getattr(t, "wildcard", False):
+        return "?"
     if isinstance(t, TypeApp):
         if not t.args:
             return t.constructor

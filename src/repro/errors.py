@@ -21,6 +21,17 @@ class KindError(SpecificationError):
     """A kind is unknown or used inconsistently."""
 
 
+class LintError(SpecificationError):
+    """Static analysis found error-severity diagnostics (strict mode).
+
+    Carries the offending :class:`~repro.lint.LintReport` as ``report``.
+    """
+
+    def __init__(self, message: str, report=None):
+        super().__init__(message)
+        self.report = report
+
+
 class TypeFormationError(SOSError):
     """A type term does not conform to the top-level signature.
 

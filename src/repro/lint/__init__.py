@@ -1,0 +1,73 @@
+"""Static analysis for second-order signatures and rewrite rule sets.
+
+Two passes over the things a :class:`~repro.catalog.database.Database` is
+built from:
+
+* :func:`lint_signature` / :func:`lint_spec` — well-formedness of a
+  signature (``SOS001`` … ``SOS010``): unknown kinds, duplicate and
+  shadowed operator specs, bad quantifier patterns, syntax drift, subtype
+  cycles, unreachable representations, update-function laws, missing docs;
+* :func:`lint_rules` / :func:`lint_optimizer` — rewrite rules against a
+  signature (``RUL001`` … ``RUL008``): unbound variables, dead rules,
+  unknown catalogs, rewrite loops, and symbolic type preservation.
+
+:func:`lint_database` runs both over a live database.  See
+``docs/STATIC_ANALYSIS.md`` for the code table and suppression syntax.
+"""
+
+from __future__ import annotations
+
+from repro.lint.diagnostics import (
+    CODES,
+    ERROR,
+    INFO,
+    WARNING,
+    Diagnostic,
+    LintReport,
+    scan_suppressions,
+)
+from repro.lint.rulepass import lint_optimizer, lint_rules
+from repro.lint.specpass import lint_signature, lint_spec
+
+
+def database_catalogs(db) -> set[str]:
+    """Names of the catalog objects a database defines."""
+    from repro.core.types import TypeApp
+
+    return {
+        name
+        for name, obj in db.objects.items()
+        if isinstance(obj.type, TypeApp) and obj.type.constructor == "catalog"
+    }
+
+
+def lint_database(db, optimizer=None, *, source: str = "<database>") -> LintReport:
+    """Lint a database's signature, and its optimizer's rules when given."""
+    report = lint_signature(db.sos, source=source)
+    if optimizer is not None:
+        report.extend(
+            lint_optimizer(
+                optimizer,
+                db.sos,
+                catalogs=database_catalogs(db),
+                source=source,
+            )
+        )
+    return report
+
+
+__all__ = [
+    "CODES",
+    "Diagnostic",
+    "ERROR",
+    "INFO",
+    "LintReport",
+    "WARNING",
+    "database_catalogs",
+    "lint_database",
+    "lint_optimizer",
+    "lint_rules",
+    "lint_signature",
+    "lint_spec",
+    "scan_suppressions",
+]

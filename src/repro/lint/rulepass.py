@@ -1,0 +1,629 @@
+"""Static analysis of rewrite rules (``RUL001`` … ``RUL008``).
+
+A :class:`~repro.optimizer.rules.RewriteRule` is only exercised when a
+query happens to match it, so a broken rule — an unbound right-hand-side
+variable, a condition over a catalog that does not exist, a rewrite that
+changes the type of the plan — can hide for a long time.  This pass checks
+every rule of a rule set against a signature without running any query:
+
+* *binding analysis* (RUL001/RUL002): every variable the RHS or a
+  condition consumes must be bound by the LHS pattern or by an earlier
+  catalog condition;
+* *liveness* (RUL003): the LHS head operator must exist in the signature,
+  otherwise the rule can never fire;
+* *type preservation* (RUL004/RUL008): the LHS and RHS are typechecked
+  once, symbolically, under fresh typed variables — rule type variables
+  are instantiated with synthetic concrete types, unconstrained variables
+  with the :class:`~repro.lint.symbolic.AnyType` wildcard — and the two
+  result types must agree up to representation change (same content
+  schema, subtyping allowed);
+* *catalog hygiene* (RUL005) and *loop detection* (RUL006).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence
+
+from repro.core.patterns import PApp, PVar, pattern_variables
+from repro.core.sorts import (
+    BindSort,
+    FunSort,
+    KindSort,
+    TypeSort,
+    VarSort,
+)
+from repro.core.terms import (
+    Apply,
+    Call,
+    Fun,
+    ListTerm,
+    Term,
+    TupleTerm,
+    Var,
+    clone_term,
+    same_term,
+)
+from repro.core.typecheck import TypeChecker
+from repro.core.types import Sym, Type, TypeApp, TypeArg, tuple_type
+from repro.errors import TypeCheckError
+from repro.lint.diagnostics import Diagnostic, LintReport
+from repro.lint.symbolic import ANY, INT, fresh_term_arg, instantiate_type_pattern
+from repro.optimizer.conditions import (
+    CatalogCondition,
+    StatsCondition,
+    TypeCondition,
+)
+from repro.optimizer.rules import RewriteRule
+from repro.optimizer.termmatch import TypeVar
+
+
+def lint_rules(
+    rules: Sequence[RewriteRule],
+    sos,
+    *,
+    catalogs: Iterable[str] = ("rep",),
+    source: str = "<rules>",
+) -> LintReport:
+    """Run every rule check over ``rules`` against signature ``sos``."""
+    report = LintReport()
+    known_catalogs = set(catalogs)
+    for rule in rules:
+        _check_bindings(rule, sos, report, source)
+        dead = _check_liveness(rule, sos, report, source)
+        _check_catalogs(rule, known_catalogs, report, source)
+        if not dead:
+            # A dead rule's LHS cannot typecheck; RUL003 already says why.
+            _check_type_preservation(rule, sos, report, source)
+    _check_loops(rules, report, source)
+    return report
+
+
+def lint_optimizer(optimizer, sos, *, catalogs=("rep",), source="<rules>") -> LintReport:
+    """Lint every rule of every step of an optimizer."""
+    seen: dict[str, RewriteRule] = {}
+    for step in optimizer.steps:
+        for rule in step.rules:
+            seen.setdefault(rule.name, rule)
+    return lint_rules(list(seen.values()), sos, catalogs=catalogs, source=source)
+
+
+# ------------------------------------------------------------------ helpers
+
+
+def _walk(term: Term) -> Iterable[Term]:
+    yield term
+    if isinstance(term, Apply):
+        for a in term.args:
+            yield from _walk(a)
+    elif isinstance(term, Fun):
+        yield from _walk(term.body)
+    elif isinstance(term, (ListTerm, TupleTerm)):
+        for i in term.items:
+            yield from _walk(i)
+    elif isinstance(term, Call):
+        yield from _walk(term.fn)
+        for a in term.args:
+            yield from _walk(a)
+
+
+def _lhs_bound(rule: RewriteRule) -> set[str]:
+    """Variables the LHS match binds: term variables and operator variables."""
+    bound: set[str] = set()
+    for node in _walk(rule.lhs):
+        if isinstance(node, Var) and node.name in rule.variables:
+            bound.add(node.name)
+        elif isinstance(node, Apply) and node.op in rule.variables:
+            bound.add(node.op)
+    # Type variables bound through declared type patterns are usable too
+    # (``rel1: rel(tuple1)`` binds ``tuple1``).
+    for name in bound & set(rule.variables):
+        rv = rule.variables[name]
+        if rv.type_pattern is not None:
+            bound |= pattern_variables(rv.type_pattern)
+    return bound
+
+
+# ------------------------------------------------------- RUL001 / RUL002
+
+
+def _check_bindings(rule: RewriteRule, sos, report: LintReport, source: str) -> None:
+    bound = _lhs_bound(rule)
+    # Conditions run in order; each may consume earlier bindings and
+    # contribute its own.
+    for cond in rule.conditions:
+        if isinstance(cond, CatalogCondition):
+            bound |= set(cond.variables)
+        elif isinstance(cond, TypeCondition):
+            if cond.variable not in bound:
+                report.add(
+                    Diagnostic(
+                        "RUL002",
+                        f"type condition tests '{cond.variable}', which no "
+                        "LHS pattern or earlier catalog condition binds",
+                        source=source,
+                        subject=rule.name,
+                    )
+                )
+            bound |= pattern_variables(cond.pattern)
+        elif isinstance(cond, StatsCondition):
+            if cond.variable not in bound:
+                report.add(
+                    Diagnostic(
+                        "RUL002",
+                        f"stats condition consults '{cond.variable}', which no "
+                        "LHS pattern or earlier catalog condition binds",
+                        source=source,
+                        subject=rule.name,
+                    )
+                )
+        # FunCondition is an opaque predicate: nothing to analyze.
+
+    def visit(term: Term, params: set[str]) -> None:
+        if isinstance(term, Var):
+            if (
+                term.name in rule.variables
+                and term.name not in bound
+                and term.name not in params
+            ):
+                report.add(
+                    Diagnostic(
+                        "RUL001",
+                        f"RHS uses rule variable '{term.name}' which neither "
+                        "the LHS pattern nor any condition binds",
+                        source=source,
+                        subject=rule.name,
+                    )
+                )
+            return
+        if isinstance(term, Apply):
+            if term.op in rule.variables and term.op not in bound:
+                report.add(
+                    Diagnostic(
+                        "RUL001",
+                        f"RHS applies operator variable '{term.op}' which "
+                        "neither the LHS pattern nor any condition binds",
+                        source=source,
+                        subject=rule.name,
+                    )
+                )
+            for a in term.args:
+                visit(a, params)
+            return
+        if isinstance(term, Fun):
+            visit(term.body, params | {n for n, _ in term.params})
+            return
+        if isinstance(term, (ListTerm, TupleTerm)):
+            for i in term.items:
+                visit(i, params)
+            return
+        if isinstance(term, Call):
+            visit(term.fn, params)
+            for a in term.args:
+                visit(a, params)
+
+    visit(rule.rhs, set())
+
+
+# ----------------------------------------------------------------- RUL003
+
+
+def _check_liveness(rule: RewriteRule, sos, report: LintReport, source: str) -> bool:
+    lhs = rule.lhs
+    if not isinstance(lhs, Apply):
+        return False
+    if lhs.op in rule.variables or sos.is_operator(lhs.op):
+        return False
+    report.add(
+        Diagnostic(
+            "RUL003",
+            f"LHS head operator '{lhs.op}' is not in the signature; "
+            "the rule can never fire",
+            source=source,
+            subject=rule.name,
+        )
+    )
+    return True
+
+
+# ----------------------------------------------------------------- RUL005
+
+
+def _check_catalogs(
+    rule: RewriteRule, known: set[str], report: LintReport, source: str
+) -> None:
+    for cond in rule.conditions:
+        if isinstance(cond, CatalogCondition) and cond.catalog not in known:
+            report.add(
+                Diagnostic(
+                    "RUL005",
+                    f"condition consults catalog '{cond.catalog}', which the "
+                    "database does not define "
+                    f"(known: {', '.join(sorted(known)) or 'none'})",
+                    source=source,
+                    subject=rule.name,
+                )
+            )
+
+
+# ----------------------------------------------------------------- RUL006
+
+
+def _check_loops(
+    rules: Sequence[RewriteRule], report: LintReport, source: str
+) -> None:
+    for i, a in enumerate(rules):
+        for b in rules[i + 1 :]:
+            if same_term(a.lhs, b.rhs) and same_term(a.rhs, b.lhs):
+                report.add(
+                    Diagnostic(
+                        "RUL006",
+                        f"rules '{a.name}' and '{b.name}' rewrite A => B and "
+                        "B => A; exhaustive application will not terminate",
+                        source=source,
+                        subject=a.name,
+                    )
+                )
+
+
+# ------------------------------------------- RUL004 / RUL007 / RUL008
+
+
+def _collect_type_vars(
+    rule: RewriteRule,
+) -> tuple[set[str], set[str]]:
+    """All rule type-variable names, and the subset that stand for tuple
+    types (they appear under a type constructor's content position or as a
+    lambda parameter type)."""
+    names: set[str] = set()
+    tuples: set[str] = set()
+
+    def from_type(t: Type, as_param: bool) -> None:
+        if isinstance(t, TypeVar):
+            names.add(t.name)
+            if as_param:
+                tuples.add(t.name)
+        elif isinstance(t, TypeApp):
+            for a in t.args:
+                if isinstance(a, Type):
+                    # stream(tuple1): a type variable applied under a
+                    # constructor holds the content schema.
+                    from_type(a, True)
+
+    for rv in rule.variables.values():
+        if rv.type_pattern is not None:
+            names |= pattern_variables(rv.type_pattern)
+            p = rv.type_pattern
+            if isinstance(p, PApp) and p.args and isinstance(p.args[0], PVar):
+                tuples.add(p.args[0].name)
+        for t in rv.fun_args or ():
+            from_type(t, True)
+        if rv.fun_result is not None:
+            from_type(rv.fun_result, False)
+    for cond in rule.conditions:
+        if isinstance(cond, TypeCondition):
+            names |= pattern_variables(cond.pattern)
+            p = cond.pattern
+            if isinstance(p, PApp) and p.args and isinstance(p.args[0], PVar):
+                tuples.add(p.args[0].name)
+    for term in (rule.lhs, rule.rhs):
+        for node in _walk(term):
+            if isinstance(node, Fun):
+                for _, ptype in node.params:
+                    if ptype is not None:
+                        from_type(ptype, True)
+    return names, tuples
+
+
+def _is_ident_sort(sort) -> bool:
+    if isinstance(sort, BindSort):
+        return _is_ident_sort(sort.sort)
+    return (
+        isinstance(sort, TypeSort)
+        and isinstance(sort.type, TypeApp)
+        and sort.type.constructor == "ident"
+    )
+
+
+def _ident_vars(rule: RewriteRule, sos) -> set[str]:
+    """Plain rule variables the LHS passes in ``ident`` argument positions —
+    attribute names (``modify[a1, v1]``), which dependent post-checks
+    require to exist in the subject's tuple type."""
+    out: set[str] = set()
+    for node in _walk(rule.lhs):
+        if not isinstance(node, Apply) or node.op in rule.variables:
+            continue
+        if not sos.is_operator(node.op):
+            continue
+        for spec in sos.operators(node.op):
+            if len(spec.arg_sorts) != len(node.args):
+                continue
+            for arg, sort in zip(node.args, spec.arg_sorts):
+                if not (isinstance(arg, Var) and arg.name in rule.variables):
+                    continue
+                rv = rule.variables[arg.name]
+                if rv.is_operator_var or rv.type_pattern or rv.kind:
+                    continue
+                if _is_ident_sort(sort):
+                    out.add(arg.name)
+    return out
+
+
+def _synthesize_bindings(
+    rule: RewriteRule,
+    tuple_vars: set[str],
+    type_names: set[str],
+    ident_vars: set[str] = frozenset(),
+) -> dict[str, TypeArg]:
+    """Symbolic type bindings: one synthetic concrete tuple per tuple
+    variable, with one attribute per operator variable over it."""
+    attrs: dict[str, list[tuple[str, Type]]] = {tv: [] for tv in tuple_vars}
+    tbinds: dict[str, TypeArg] = {}
+    for rv in rule.variables.values():
+        if not rv.is_operator_var:
+            continue
+        fun_args = rv.fun_args or ()
+        if len(fun_args) != 1 or not isinstance(fun_args[0], TypeVar):
+            continue
+        tv = fun_args[0].name
+        result = rv.fun_result
+        if isinstance(result, TypeVar):
+            rtype: Type = INT
+            tbinds.setdefault(result.name, INT)
+        elif isinstance(result, Type):
+            rtype = result
+        else:
+            rtype = INT
+        attrs.setdefault(tv, []).append((rv.name, rtype))
+        # Operator variables bind their name as a Sym, so the synthetic
+        # attribute name and e.g. a B-tree key-name binding agree.
+        tbinds.setdefault(rv.name, Sym(rv.name))
+    if len(tuple_vars) == 1:
+        # Attribute-name variables must name real attributes of the (only)
+        # schema; with several schemas the target is ambiguous, and no
+        # bundled rule mixes the two shapes.
+        tv = next(iter(tuple_vars))
+        for name in sorted(ident_vars):
+            attrs.setdefault(tv, []).append((name, INT))
+    for tv in tuple_vars:
+        # The default attribute is unique per tuple variable so joins of two
+        # synthetic tuples have disjoint schemas.
+        pairs = attrs.get(tv) or [(f"k_{tv}", INT)]
+        tbinds[tv] = tuple_type(pairs)
+    for name in type_names:
+        tbinds.setdefault(name, INT)
+    return tbinds
+
+
+def _instantiate_condition_type(
+    cond: TypeCondition, tbinds: dict[str, TypeArg], sos
+) -> Optional[Type]:
+    """A concrete type for a condition-bound variable, resolving still-free
+    pattern variables positionally against the constructor's signature."""
+    t = _instantiate_papp(cond.pattern, tbinds, sos)
+    if t is None or not cond.subtype_ok:
+        return t
+    # ``subtype_ok`` means the variable's real type is the pattern *or any
+    # subtype of it*; abstract heads (relrep) have no operators of their
+    # own, so refine to a concrete subtype when one instantiates cleanly.
+    refined = _refine_to_subtype(t, sos)
+    return refined if refined is not None else t
+
+
+def _refine_to_subtype(t: Type, sos) -> Optional[Type]:
+    from repro.core.patterns import match_type
+
+    if not isinstance(t, TypeApp):
+        return None
+    for rule in sos.subtypes.rules:
+        sup = rule.sup
+        if not (isinstance(sup, PApp) and sup.constructor == t.constructor):
+            continue
+        binds = match_type(sup, t)
+        if binds is None:
+            continue
+        if not pattern_variables(rule.sub) <= set(binds):
+            continue
+        sub = instantiate_type_pattern(rule.sub, binds)
+        if isinstance(sub, Type):
+            return sub
+    return None
+
+
+def _instantiate_papp(pattern, tbinds: dict[str, TypeArg], sos) -> Optional[Type]:
+    if not isinstance(pattern, PApp):
+        t = instantiate_type_pattern(pattern, tbinds)
+        return t if isinstance(t, Type) else None
+    ts = sos.type_system
+    if not ts.has_constructor(pattern.constructor):
+        return None
+    ctor = next(
+        (
+            c
+            for c in ts.overloads(pattern.constructor)
+            if len(c.arg_sorts) == len(pattern.args)
+        ),
+        None,
+    )
+    if ctor is None:
+        return None
+    args: list[TypeArg] = []
+    for sub, sort in zip(pattern.args, ctor.arg_sorts):
+        if isinstance(sub, PVar) and sub.name in tbinds:
+            args.append(tbinds[sub.name])
+            continue
+        resolved = _fresh_for_sort(
+            sort, sub.name if isinstance(sub, PVar) else None, tbinds
+        )
+        if resolved is None:
+            return None
+        args.append(resolved)
+        if isinstance(sub, PVar):
+            tbinds[sub.name] = resolved
+    return TypeApp(pattern.constructor, tuple(args))
+
+
+def _fresh_for_sort(
+    sort, name: Optional[str], tbinds: dict[str, TypeArg]
+) -> Optional[TypeArg]:
+    if isinstance(sort, BindSort):
+        return _fresh_for_sort(sort.sort, name, tbinds)
+    if isinstance(sort, KindSort):
+        return INT
+    if isinstance(sort, TypeSort):
+        if isinstance(sort.type, TypeApp) and sort.type.constructor == "ident":
+            return Sym(name or "a")
+        return sort.type
+    if isinstance(sort, FunSort) and len(sort.args) == 1:
+        param = sort.args[0]
+        if isinstance(param, VarSort):
+            bound = tbinds.get(param.name)
+            if isinstance(bound, Type):
+                return fresh_term_arg(bound)
+        return fresh_term_arg(ANY)
+    return None
+
+
+def _resolve_rule_type(t: Optional[Type], tbinds: dict[str, TypeArg]) -> Optional[Type]:
+    if t is None:
+        return None
+    if isinstance(t, TypeVar):
+        bound = tbinds.get(t.name)
+        return bound if isinstance(bound, Type) else ANY
+    if isinstance(t, TypeApp):
+        changed = False
+        args: list[TypeArg] = []
+        for a in t.args:
+            if isinstance(a, Type):
+                r = _resolve_rule_type(a, tbinds)
+                changed = changed or r is not a
+                args.append(r)
+            else:
+                args.append(a)
+        if changed:
+            return TypeApp(t.constructor, tuple(args))
+    return t
+
+
+def _concretize(term: Term, tbinds: dict[str, TypeArg]) -> Term:
+    """A clone of ``term`` whose lambda parameter types are concrete."""
+    out = clone_term(term)
+
+    def fix(node: Term) -> None:
+        if isinstance(node, Fun):
+            node.params = tuple(
+                (n, _resolve_rule_type(pt, tbinds)) for n, pt in node.params
+            )
+            fix(node.body)
+        elif isinstance(node, Apply):
+            for a in node.args:
+                fix(a)
+        elif isinstance(node, (ListTerm, TupleTerm)):
+            for i in node.items:
+                fix(i)
+        elif isinstance(node, Call):
+            fix(node.fn)
+            for a in node.args:
+                fix(a)
+
+    fix(out)
+    return out
+
+
+def _result_compatible(lt: Type, rt: Type, sos) -> bool:
+    if lt == rt:
+        return True
+    subtypes = sos.subtypes
+    if subtypes.is_subtype(rt, lt) or subtypes.is_subtype(lt, rt):
+        return True
+    # A representation change keeps the content schema: rel(t) may become
+    # stream(t), btree(t, ...), relrep(t) — the first argument carries the
+    # tuple type in every collection constructor of the bundled models.
+    if (
+        isinstance(lt, TypeApp)
+        and isinstance(rt, TypeApp)
+        and lt.args
+        and rt.args
+        and lt.args[0] == rt.args[0]
+    ):
+        return True
+    return False
+
+
+def _check_type_preservation(
+    rule: RewriteRule, sos, report: LintReport, source: str
+) -> None:
+    try:
+        type_names, tuple_vars = _collect_type_vars(rule)
+        tbinds = _synthesize_bindings(
+            rule, tuple_vars, type_names - tuple_vars, _ident_vars(rule, sos)
+        )
+        env: dict[str, Type] = {}
+        for cond in rule.conditions:
+            if isinstance(cond, TypeCondition):
+                t = _instantiate_condition_type(cond, tbinds, sos)
+                if t is not None:
+                    env[cond.variable] = t
+        for rv in rule.variables.values():
+            if rv.is_operator_var:
+                continue
+            if rv.type_pattern is not None:
+                t = instantiate_type_pattern(rv.type_pattern, tbinds)
+                env[rv.name] = t if isinstance(t, Type) else ANY
+            else:
+                env.setdefault(rv.name, ANY)
+        for cond in rule.conditions:
+            if isinstance(cond, CatalogCondition):
+                for v in cond.variables:
+                    env.setdefault(v, ANY)
+        checker = TypeChecker(sos, object_types=env.get)
+        lhs = _concretize(rule.lhs, tbinds)
+        try:
+            lhs = checker.check(lhs, dict(env))
+        except TypeCheckError as exc:
+            report.add(
+                Diagnostic(
+                    "RUL008",
+                    f"LHS does not typecheck under symbolic bindings: {exc}",
+                    source=source,
+                    subject=rule.name,
+                )
+            )
+            return
+        rhs = _concretize(rule.rhs, tbinds)
+        try:
+            rhs = checker.check(rhs, dict(env))
+        except TypeCheckError as exc:
+            report.add(
+                Diagnostic(
+                    "RUL004",
+                    f"RHS does not typecheck under symbolic bindings: {exc}",
+                    source=source,
+                    subject=rule.name,
+                )
+            )
+            return
+        lt, rt = lhs.type, rhs.type
+        if lt is None or rt is None:
+            raise RuntimeError("typechecker returned an untyped term")
+        if not _result_compatible(lt, rt, sos):
+            report.add(
+                Diagnostic(
+                    "RUL004",
+                    "rewrite changes the plan type: LHS has type "
+                    f"{lt} but RHS has type {rt}",
+                    source=source,
+                    subject=rule.name,
+                )
+            )
+    except Exception as exc:  # pragma: no cover - analysis fallback
+        report.add(
+            Diagnostic(
+                "RUL007",
+                f"could not analyze rule symbolically: {exc}",
+                source=source,
+                subject=rule.name,
+            )
+        )
+
+
+__all__ = ["lint_rules", "lint_optimizer"]

@@ -1,0 +1,96 @@
+"""Symbolic typechecking support for the rule pass.
+
+The type-preservation check (RUL004) typechecks a rule's LHS and RHS once,
+under *fresh typed variables*, instead of trusting per-query typecheck
+retries at optimization time.  Rule type variables (``tuple1`` …) are
+instantiated with synthetic concrete types; rule term variables become
+environment entries; variables whose types nothing constrains get the
+:class:`AnyType` wildcard, which the core typechecker treats as matching
+every sort (see the ``wildcard`` hooks in :mod:`repro.core.typecheck` and
+:mod:`repro.core.signature`).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.patterns import (
+    PApp,
+    PVar,
+    TypePattern,
+    instantiate_pattern,
+    pattern_variables,
+)
+from repro.core.sorts import FunSort, KindSort, ListSort, TypeSort
+from repro.core.terms import Fun, Var
+from repro.core.types import (
+    Sym,
+    TermArg,
+    Type,
+    TypeApp,
+    TypeArg,
+    tuple_type,
+)
+
+
+class AnyType(Type):
+    """The lint wildcard: equal to every type, member of every kind.
+
+    The core typechecker and type system special-case any type object with
+    a truthy ``wildcard`` attribute, so this class needs no registration.
+    """
+
+    __slots__ = ()
+    wildcard = True
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Type)
+
+    def __ne__(self, other: object) -> bool:
+        return not isinstance(other, Type)
+
+    def __hash__(self) -> int:
+        return hash("<any-type>")
+
+    def __repr__(self) -> str:
+        return "AnyType()"
+
+
+ANY = AnyType()
+
+INT = TypeApp("int")
+
+
+def synth_tuple(attrs: list[tuple[str, Type]]) -> TypeApp:
+    """A synthetic concrete tuple type; always carries at least one ordered
+    attribute (``k: int``) so B-tree shapes and sort orders are satisfiable."""
+    if not attrs:
+        attrs = [("k", INT)]
+    return tuple_type(attrs)
+
+
+def instantiate_type_pattern(
+    pattern: TypePattern, tbinds: dict[str, TypeArg]
+) -> Optional[TypeArg]:
+    """Instantiate a rule's type pattern under symbolic bindings, returning
+    ``None`` when a variable is unbound (the caller falls back to ANY)."""
+    try:
+        return instantiate_pattern(pattern, tbinds)
+    except KeyError:
+        return None
+
+
+def fresh_term_arg(param_type: Type) -> TermArg:
+    """A placeholder function argument for function-valued constructor
+    positions (the LSD-tree key function): the identity lambda."""
+    return TermArg(Fun((("t", param_type),), Var("t")))
+
+
+__all__ = [
+    "ANY",
+    "AnyType",
+    "INT",
+    "fresh_term_arg",
+    "instantiate_type_pattern",
+    "synth_tuple",
+]

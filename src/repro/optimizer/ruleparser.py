@@ -59,6 +59,7 @@ def parse_rule(text: str, sos: SecondOrderSignature, name: str = "rule") -> Rewr
     parser = Parser(sos, aliases=aliases, is_object=term_vars.__contains__)
     lhs = parser.parse_expression(lhs_text.strip())
     rhs = parser.parse_expression(rhs_text.strip())
+    _check_rhs_bound(lhs, rhs, variables, condition_vars, conditions)
     return RewriteRule(
         name=name,
         variables=variables,
@@ -67,6 +68,52 @@ def parse_rule(text: str, sos: SecondOrderSignature, name: str = "rule") -> Rewr
         conditions=tuple(conditions),
         doc=text.strip(),
     )
+
+
+def _check_rhs_bound(lhs, rhs, variables, condition_vars, conditions) -> None:
+    """Reject a right-hand side that uses a declared rule variable nothing
+    binds — previously such rules parsed fine and failed only when (and if)
+    they fired, as a ``KeyError``/``OptimizationError`` deep inside
+    instantiation."""
+    from repro.core.terms import Apply, Call, Fun, ListTerm, TupleTerm, Var
+
+    def uses(term, params: frozenset) -> set[str]:
+        if isinstance(term, Var):
+            if term.name in variables and term.name not in params:
+                return {term.name}
+            return set()
+        if isinstance(term, Apply):
+            out = {term.op} if term.op in variables else set()
+            for a in term.args:
+                out |= uses(a, params)
+            return out
+        if isinstance(term, Fun):
+            return uses(term.body, params | {n for n, _ in term.params})
+        if isinstance(term, (ListTerm, TupleTerm)):
+            out = set()
+            for i in term.items:
+                out |= uses(i, params)
+            return out
+        if isinstance(term, Call):
+            out = uses(term.fn, params)
+            for a in term.args:
+                out |= uses(a, params)
+            return out
+        return set()
+
+    bound = uses(lhs, frozenset()) | set(condition_vars)
+    for cond in conditions:
+        if isinstance(cond, TypeCondition):
+            bound |= pattern_variables(cond.pattern)
+        elif isinstance(cond, CatalogCondition):
+            bound |= set(cond.variables)
+    unbound = sorted(uses(rhs, frozenset()) - bound)
+    if unbound:
+        raise ParseError(
+            "right-hand side uses variable(s) "
+            + ", ".join(unbound)
+            + " that neither the left-hand side nor the conditions bind"
+        )
 
 
 def _split(text: str) -> tuple[list[str], str, str, str]:

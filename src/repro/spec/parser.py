@@ -23,6 +23,8 @@ kinds.
 
 from __future__ import annotations
 
+import re
+from dataclasses import replace
 from typing import Callable, Mapping, Optional
 
 from repro.core.constructors import ConstructorSpec
@@ -42,12 +44,17 @@ from repro.core.sorts import (
     VarSort,
 )
 from repro.core.sos import SecondOrderSignature, SignatureBuilder
-from repro.core.subtypes import SubtypeRule
 from repro.core.types import TypeApp
 from repro.errors import ParseError, SpecificationError
 from repro.lang.lexer import Token, tokenize
 
 SECTIONS = ("kinds", "type constructors", "constructor specs", "subtypes", "operators")
+
+#: One buffered specification line: ``(lineno, column_offset, text)``.
+_Line = tuple[int, int, str]
+
+#: A trailing ``-- comment`` (whitespace-delimited, so ``->`` stays intact).
+_TRAILING_COMMENT = re.compile(r"\s--(\s.*)?$")
 
 
 def parse_spec(
@@ -88,13 +95,17 @@ class _SpecParser:
     # ------------------------------------------------------------- sections
 
     def parse(self, text: str) -> None:
-        lines = [ln for ln in text.splitlines()]
+        # Each buffered entry is ``(lineno, column_offset, text)``; token
+        # positions are rebased onto the original source so every error
+        # (and every recorded span) points into ``text``.
         section = None
-        buffer: list[str] = []
-        for raw in lines:
+        buffer: list[_Line] = []
+        for lineno, raw in enumerate(text.splitlines(), start=1):
             stripped = raw.strip()
             if not stripped or stripped.startswith("--"):
                 continue
+            raw = _TRAILING_COMMENT.sub("", raw)
+            stripped = raw.strip()
             lowered = stripped.lower()
             matched = None
             for name in SECTIONS:
@@ -108,34 +119,50 @@ class _SpecParser:
             ):
                 self._flush(section, buffer)
                 section, remainder = matched
-                buffer = [remainder] if remainder else []
+                if remainder:
+                    buffer = [(lineno, raw.index(remainder), remainder)]
+                else:
+                    buffer = []
             else:
                 if section is None:
-                    raise ParseError(f"text before any section: {stripped}")
-                buffer.append(stripped)
+                    column = len(raw) - len(raw.lstrip()) + 1
+                    raise ParseError(
+                        f"text before any section: {stripped}", lineno, column
+                    )
+                buffer.append((lineno, 0, raw))
         self._flush(section, buffer)
 
-    def _flush(self, section: Optional[str], buffer: list[str]) -> None:
-        lines = [ln for ln in buffer if ln]
-        if section is None or not lines:
+    def _flush(self, section: Optional[str], buffer: list["_Line"]) -> None:
+        entries = [e for e in buffer if e[2].strip()]
+        if section is None or not entries:
             return
         if section == "kinds":
-            self._parse_kinds(" ".join(lines))
+            self._parse_kinds(" ".join(e[2] for e in entries))
         elif section == "type constructors":
-            for line in lines:
-                self._parse_constructor(line)
+            for entry in entries:
+                self._parse_constructor(entry)
         elif section == "constructor specs":
             raise SpecificationError(
                 "textual constructor specs are not supported; pass them via "
                 "the constructor_specs mapping"
             )
         elif section == "subtypes":
-            for line in lines:
-                self._parse_subtype(line)
+            for entry in entries:
+                self._parse_subtype(entry)
         elif section == "operators":
             self.quantifiers = []
-            for line in lines:
-                self._parse_operator_line(line)
+            for entry in entries:
+                self._parse_operator_line(entry)
+
+    def _toks(self, entry: "_Line") -> "_Tokens":
+        """Tokenize one buffered line, rebasing token positions onto the
+        original specification text."""
+        lineno, offset, text = entry
+        rebased = [
+            replace(tok, line=lineno, column=tok.column + offset)
+            for tok in tokenize(text)
+        ]
+        return _Tokens(rebased)
 
     # ----------------------------------------------------------------- kinds
 
@@ -145,8 +172,9 @@ class _SpecParser:
 
     # ----------------------------------------------------------- constructors
 
-    def _parse_constructor(self, line: str) -> None:
-        toks = _Tokens(tokenize(line))
+    def _parse_constructor(self, entry: "_Line") -> None:
+        toks = self._toks(entry)
+        start = toks.peek()
         arg_sorts: list[Sort] = []
         bound: dict[str, Sort] = {}
         if toks.peek().text != "->":
@@ -166,23 +194,25 @@ class _SpecParser:
             spec = self.constructor_specs.get((name, len(arg_sorts)))
             if spec is None:
                 spec = self.constructor_specs.get(name)
-            self.builder.constructor(name, arg_sorts, kind, spec=spec, level=self.level)
+            self.builder.constructor(
+                name,
+                arg_sorts,
+                kind,
+                spec=spec,
+                level=self.level,
+                span=(start.line, start.column),
+            )
 
     # --------------------------------------------------------------- subtypes
 
-    def _parse_subtype(self, line: str) -> None:
-        left, sep, right = line.partition("<")
-        if not sep:
-            raise ParseError(f"subtype line needs '<': {line}")
-        sub = self._parse_pattern(left.strip())
-        sup = self._parse_pattern(right.strip())
-        self.builder.sos.subtypes.add(SubtypeRule(sub, sup))
-
-    def _parse_pattern(self, text: str) -> TypePattern:
-        toks = _Tokens(tokenize(text))
-        pattern = self._pattern(toks)
+    def _parse_subtype(self, entry: "_Line") -> None:
+        toks = self._toks(entry)
+        start = toks.peek()
+        sub = self._pattern(toks)
+        toks.expect("<")
+        sup = self._pattern(toks)
         toks.end()
-        return pattern
+        self.builder.subtype(sub, sup, span=(start.line, start.column))
 
     def _pattern(self, toks: "_Tokens") -> TypePattern:
         name = toks.name("pattern")
@@ -198,18 +228,26 @@ class _SpecParser:
 
     # -------------------------------------------------------------- operators
 
-    def _parse_operator_line(self, line: str) -> None:
-        if line.startswith("forall"):
-            self.quantifiers = self._parse_quantifiers(line)
+    def _parse_operator_line(self, entry: "_Line") -> None:
+        lineno, offset, line = entry
+        if line.strip().startswith("forall"):
+            self.quantifiers = self._parse_quantifiers(entry)
             return
         # Split off a trailing "syntax <pattern>".
         syntax: Optional[str] = None
         if " syntax " in line:
             line, _, syntax_text = line.rpartition(" syntax ")
             syntax = syntax_text.strip()
+            entry = (lineno, offset, line)
         elif line.strip().startswith("syntax "):
-            raise ParseError(f"syntax clause without an operator: {line}")
-        toks = _Tokens(tokenize(line))
+            column = offset + len(line) - len(line.lstrip()) + 1
+            raise ParseError(
+                f"syntax clause without an operator: {line.strip()}",
+                lineno,
+                column,
+            )
+        toks = self._toks(entry)
+        start = toks.peek()
         arg_sorts: list[Sort] = []
         is_update = False
         if toks.peek().text not in ("->", "~>"):
@@ -218,7 +256,11 @@ class _SpecParser:
         if arrow.text == "~>":
             is_update = True
         elif arrow.text != "->":
-            raise ParseError(f"expected -> or ~> in operator line: {line}")
+            raise ParseError(
+                f"expected -> or ~> in operator line: {line.strip()}",
+                arrow.line,
+                arrow.column,
+            )
         result = self._operator_result(toks)
         names = [self._op_name(toks)]
         while toks.peek().text == ",":
@@ -235,16 +277,21 @@ class _SpecParser:
                         "pass its compute function via type_operators"
                     )
                 final_result = TypeOperator(name, result.result_kind, compute)
-            self.builder.op(
-                name,
-                quantifiers=tuple(self.quantifiers),
-                args=tuple(arg_sorts),
-                result=final_result,
-                syntax=syntax,
-                impl=self.impls.get(name),
-                is_update=is_update,
-                level=self.level,
-            )
+            try:
+                self.builder.op(
+                    name,
+                    quantifiers=tuple(self.quantifiers),
+                    args=tuple(arg_sorts),
+                    result=final_result,
+                    syntax=syntax,
+                    impl=self.impls.get(name),
+                    is_update=is_update,
+                    level=self.level,
+                    span=(start.line, start.column),
+                )
+            except ValueError as exc:
+                # Malformed syntax patterns surface as positioned errors.
+                raise ParseError(str(exc), start.line, start.column) from exc
 
     def _op_name(self, toks: "_Tokens") -> str:
         tok = toks.next()
@@ -269,20 +316,26 @@ class _SpecParser:
             return TypeOperator("<pending>", kind, lambda *a: None)
         return self._sort_atom_with_suffix(toks, vars_allowed=None)
 
-    def _parse_quantifiers(self, line: str) -> list[Quantifier]:
+    def _parse_quantifiers(self, entry: "_Line") -> list[Quantifier]:
         quantifiers = []
-        toks = _Tokens(tokenize(line))
+        toks = self._toks(entry)
         while toks.peek().kind != "EOF":
+            tok = toks.peek()
             word = toks.name("forall")
             if word != "forall":
-                raise ParseError(f"expected forall, got {word}")
+                raise ParseError(
+                    f"expected forall, got {word}", tok.line, tok.column
+                )
             var = toks.name("quantified variable")
             pattern: Optional[TypePattern] = None
             if toks.peek().text == ":":
                 toks.next()
                 pattern = self._pattern_tokens(toks)
-            if toks.next().text != "in":
-                raise ParseError("expected 'in' in quantifier")
+            tok = toks.next()
+            if tok.text != "in":
+                raise ParseError(
+                    "expected 'in' in quantifier", tok.line, tok.column
+                )
             kind = self._quantifier_kind(toks)
             quantifiers.append(Quantifier(var, kind, pattern))
             if toks.peek().text == ".":
@@ -341,9 +394,9 @@ class _SpecParser:
             inner = self._sort_atom_with_suffix(toks, vars_allowed)
             vars_allowed[name] = inner
             return BindSort(name, inner)
-        return self._resolve_name(name, toks, vars_allowed)
+        return self._resolve_name(name, toks, vars_allowed, tok)
 
-    def _resolve_name(self, name: str, toks, vars_allowed) -> Sort:
+    def _resolve_name(self, name: str, toks, vars_allowed, tok=None) -> Sort:
         ts = self.builder.sos.type_system
         quantified = {q.var for q in self.quantifiers}
         for q in self.quantifiers:
@@ -371,7 +424,11 @@ class _SpecParser:
             return KindSort(ts.kind(name))
         if ts.has_constructor(name):
             return TypeSort(TypeApp(name))
-        raise ParseError(f"unknown sort name: {name}")
+        raise ParseError(
+            f"unknown sort name: {name}",
+            tok.line if tok is not None else None,
+            tok.column if tok is not None else None,
+        )
 
     def _paren_sort(self, toks, vars_allowed) -> Sort:
         toks.expect("(")
@@ -390,14 +447,22 @@ class _SpecParser:
             if connective is None:
                 connective = kind
             elif connective != kind:
-                raise ParseError("cannot mix 'x' and '|' without parentheses")
+                raise ParseError(
+                    "cannot mix 'x' and '|' without parentheses",
+                    tok.line,
+                    tok.column,
+                )
             parts.append(self._sort_atom_with_suffix(toks, vars_allowed))
         if toks.peek().text == "->":
-            toks.next()
+            arrow = toks.next()
             result = self._sort_atom_with_suffix(toks, vars_allowed)
             toks.expect(")")
             if connective == "union":
-                raise ParseError("function sort over a union is not supported")
+                raise ParseError(
+                    "function sort over a union is not supported",
+                    arrow.line,
+                    arrow.column,
+                )
             return FunSort(tuple(parts), result)
         toks.expect(")")
         if len(parts) == 1:

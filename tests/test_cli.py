@@ -270,3 +270,75 @@ class TestDurableMode:
         result = run_cli(["--data-dir", str(data_dir)], stdin="\\q\n")
         assert result.returncode == 2
         assert "sos-checkpoint" in result.stderr
+
+
+class TestLintCommand:
+    """python -m repro lint — static analysis from the command line."""
+
+    BAD_SPEC = textwrap.dedent(
+        """\
+        kinds IDENT, DATA, TUPLE, REL
+
+        type constructors
+            -> IDENT                  ident
+            -> DATA                   int, bool
+            (ident x DATA)+ -> TUPLE  tuple
+            TUPLE -> REL              rel
+
+        operators
+            forall rel: rel(tuple) in REL.
+                rel x rel -> rel      pair    syntax _ #
+        """
+    )
+
+    def test_bundled_models_lint_clean(self):
+        result = run_cli(["lint", "--strict"])
+        assert result.returncode == 0, result.stdout + result.stderr
+        assert "clean" in result.stdout
+
+    def test_bad_spec_file_reported_with_span(self, tmp_path):
+        path = tmp_path / "bad.sos"
+        path.write_text(self.BAD_SPEC)
+        result = run_cli(["lint", "--strict", str(path)])
+        assert result.returncode == 1
+        assert f"{path}:11:9: error: SOS006 [pair]:" in result.stdout
+
+    def test_without_strict_errors_do_not_fail(self, tmp_path):
+        path = tmp_path / "bad.sos"
+        path.write_text(self.BAD_SPEC)
+        result = run_cli(["lint", str(path)])
+        assert result.returncode == 0
+        assert "SOS006" in result.stdout
+
+    def test_json_output(self, tmp_path):
+        import json
+
+        path = tmp_path / "bad.sos"
+        path.write_text(self.BAD_SPEC)
+        result = run_cli(["lint", "--json", str(path)])
+        payload = json.loads(result.stdout)
+        assert payload["ok"] is False
+        codes = {d["code"] for d in payload["diagnostics"]}
+        assert "SOS006" in codes
+
+    def test_suppression_honored(self, tmp_path):
+        path = tmp_path / "bad.sos"
+        path.write_text(
+            self.BAD_SPEC.replace(
+                "rel x rel -> rel      pair    syntax _ #",
+                "rel x rel -> rel      pair    syntax _ #"
+                "  -- lint: disable=SOS006,SOS010",
+            )
+        )
+        result = run_cli(["lint", "--strict", str(path)])
+        assert result.returncode == 0, result.stdout
+
+    def test_unreadable_file(self, tmp_path):
+        result = run_cli(["lint", str(tmp_path / "missing.sos")])
+        assert result.returncode == 2
+        assert "cannot read" in result.stderr
+
+    def test_unknown_option(self):
+        result = run_cli(["lint", "--bogus"])
+        assert result.returncode == 2
+        assert "unknown lint option" in result.stderr

@@ -3,11 +3,12 @@
 import pytest
 
 from repro.core.patterns import PApp, PVar
-from repro.core.terms import Var
+from repro.core.terms import Apply, Var
 from repro.core.types import Sym, TypeApp, rel_type, tuple_type
 from repro.optimizer.conditions import (
     CatalogCondition,
     FunCondition,
+    StatsCondition,
     TypeCondition,
     solve_conditions,
 )
@@ -60,6 +61,19 @@ class TestCatalogCondition:
     def test_missing_catalog_yields_nothing(self, db):
         condition = CatalogCondition("nope", ("rel1", "r"))
         assert list(condition.solutions(_state_with_rel(db), db)) == []
+
+    def test_arity_mismatch_yields_nothing(self, db):
+        """rep is a 2-column catalog; a 3-variable lookup cannot match."""
+        condition = CatalogCondition("rep", ("rel1", "r", "extra"))
+        assert list(condition.solutions(_state_with_rel(db), db)) == []
+
+    def test_variable_bound_to_complex_subterm_fails(self, db):
+        """A variable bound to a nested expression (not an object name)
+        must fail the lookup rather than act as a wildcard."""
+        state = _state_with_rel(db)
+        state.vbinds["rel1"] = Apply("feed", (Var("cities"),))
+        condition = CatalogCondition("rep", ("rel1", "r"))
+        assert list(condition.solutions(state, db)) == []
 
     def test_bound_objects_get_types(self, db):
         condition = CatalogCondition("rep", ("rel1", "r"))
@@ -114,6 +128,25 @@ class TestFunCondition:
 
         condition = FunCondition(expand)
         assert len(list(condition.solutions(MatchState(), db))) == 3
+
+
+class TestStatsCondition:
+    def test_unbound_variable_yields_nothing(self, db):
+        condition = StatsCondition("ghost", lambda entry: True)
+        assert list(condition.solutions(MatchState(), db)) == []
+
+    def test_missing_statistics_pass_none_to_predicate(self, db):
+        seen = []
+        condition = StatsCondition("rel1", seen.append)
+        list(condition.solutions(_state_with_rel(db), db))
+        assert seen == [None]
+
+    def test_predicate_filters(self, db):
+        accept = StatsCondition("rel1", lambda entry: entry is None)
+        reject = StatsCondition("rel1", lambda entry: entry is not None)
+        state = _state_with_rel(db)
+        assert len(list(accept.solutions(state, db))) == 1
+        assert list(reject.solutions(state, db)) == []
 
 
 class TestBacktracking:

@@ -45,6 +45,26 @@ class TestParsing:
                 "forall x in REL.\nx => x if nonsense + 1", system.database.sos
             )
 
+    def test_unbound_rhs_variable_rejected(self, system):
+        """A declared variable the RHS uses but nothing binds is a parse
+        error, not a latent KeyError when the rule fires."""
+        with pytest.raises(ParseError, match="rel2"):
+            parse_rule(
+                "forall rel1: rel(tuple1) in REL. "
+                "forall rel2: rel(tuple2) in REL.\n"
+                "rel1 => rel2",
+                system.database.sos,
+            )
+
+    def test_condition_bound_rhs_variable_accepted(self, system):
+        rule = parse_rule(
+            "forall rel1: rel(tuple1) in REL.\n"
+            "rel1 => rep1 feed\n"
+            "if rep(rel1, rep1) and rep1 : relrep(tuple1)",
+            system.database.sos,
+        )
+        assert rule.rhs.op == "feed"
+
 
 class TestExecution:
     """The textual paper rule behaves exactly like the programmatic one."""

@@ -113,6 +113,15 @@ class TestStructure:
         assert isinstance(union.arg_sorts[0], ListSort)
         assert isinstance(union.arg_sorts[0].element, VarSort)
 
+    def test_trailing_comments_ignored(self):
+        sos = parse_spec(
+            "kinds DATA                -- the data kinds\n"
+            "type constructors\n"
+            "    -> DATA  int, bool    -- constants\n"
+        )
+        assert sos.type_system.has_constructor("int")
+        assert sos.type_system.has_constructor("bool")
+
 
 class TestSemantics:
     """The loaded spec typechecks and evaluates the running example."""
@@ -198,8 +207,11 @@ operators
 
 class TestErrors:
     def test_unknown_sort_name(self):
-        with pytest.raises(ParseError):
+        with pytest.raises(ParseError) as exc:
             parse_spec("kinds A\n\ntype constructors\n    nonsense -> A  x")
+        assert exc.value.line == 4
+        assert exc.value.column == 5
+        assert "line 4" in str(exc.value)
 
     def test_type_operator_without_compute(self):
         spec = """
@@ -214,8 +226,10 @@ operators
             parse_spec(spec)
 
     def test_text_before_section(self):
-        with pytest.raises(ParseError):
+        with pytest.raises(ParseError) as exc:
             parse_spec("hello\nkinds A")
+        assert exc.value.line == 1
+        assert exc.value.column == 1
 
     def test_union_kind_quantifier(self):
         spec = """
