@@ -10,8 +10,8 @@ Two classes of metric are checked:
   reads, row counts, plan-choice flags).  These are identical across
   machines for a given code version, so *any* growth beyond the
   threshold is a genuine algorithmic regression (a plan flip, a lost
-  index path, extra I/O); a plan-choice flag dropping from 1 to 0 always
-  fails.  Counters are always gated.
+  index path, extra I/O); a flag counter (``*_picks_index``, ``*_ok``)
+  dropping from 1 to 0 always fails.  Counters are always gated.
 * timing medians — gated only with ``--check-time``, and then compared
   in calibration units (each file's ``median_ms`` divided by its own
   ``meta.calibration_ms`` busy-loop time) so a slower CI host does not
@@ -55,9 +55,9 @@ def compare(
             cval = cur.get("counters", {}).get(key)
             if cval is None:
                 failures.append(f"{name}.{key}: counter disappeared")
-            elif cval < bval and key.endswith("_picks_index"):
+            elif cval < bval and key.endswith(("_picks_index", "_ok")):
                 failures.append(
-                    f"{name}.{key}: plan choice regressed {bval} -> {cval}"
+                    f"{name}.{key}: flag regressed {bval} -> {cval}"
                 )
             elif _regressed(bval, cval):
                 failures.append(

@@ -22,6 +22,14 @@ for exactly that reason.
 write-ahead-logged inserts (per-commit and group-commit fsync policies)
 and recovery, with the deterministic ``log_writes`` / ``fsyncs`` /
 ``replayed`` counters the gate can diff; see ``docs/DURABILITY.md``.
+
+``--suite server`` measures the multi-session socket server: statements
+per second against one durable database at 1, 8 and 64 concurrent
+clients (each client writing its own relation, so the run is
+conflict-free and the counters deterministic), plus a ``scaling``
+benchmark whose gated ``eight_beats_one_ok`` flag pins down that
+cross-client group commit actually buys throughput — eight clients must
+outrun one.  Raw statements/sec land in ``info`` (machine-dependent).
 """
 
 from __future__ import annotations
@@ -302,6 +310,171 @@ def bench_recovery(smoke: bool) -> dict:
         shutil.rmtree(tmp, ignore_errors=True)
 
 
+# ---------------------------------------------------------------------------
+# Server suite: concurrent clients against one durable database
+# ---------------------------------------------------------------------------
+
+
+def _start_bench_server(tmp: str):
+    from repro.server import start_server
+
+    return start_server(
+        data_dir=os.path.join(tmp, "db"), group_commit=8, checkpoint_interval=0
+    )
+
+
+def _server_schema(address: str, n_clients: int) -> None:
+    from repro.api import connect
+
+    statements = ["type item = tuple(<(k, int), (name, string)>)"]
+    for cid in range(n_clients):
+        statements += [
+            f"create r{cid} : rel(item)",
+            f"create r{cid}_rep : btree(item, k, int)",
+            f"update rep := insert(rep, r{cid}, r{cid}_rep)",
+        ]
+    db = connect(address)
+    db.run("\n".join(statements))
+    db.disconnect()
+
+
+def _server_round(
+    address: str, n_clients: int, n_stmts: int, key_base: int
+) -> float:
+    """One timed round: every client commits ``n_stmts`` inserts into its
+    own relation; returns wall-clock seconds from the start barrier to the
+    last client finishing."""
+    import threading
+
+    from repro.api import connect
+
+    barrier = threading.Barrier(n_clients + 1)
+    errors: list[BaseException] = []
+
+    def client(cid: int) -> None:
+        try:
+            db = connect(address)
+            barrier.wait()
+            for i in range(n_stmts):
+                db.run_one(
+                    f"update r{cid} := insert(r{cid}, "
+                    f'mktuple[<(k, {key_base + i}), (name, "x")>])'
+                )
+            db.disconnect()
+        except BaseException as exc:  # pragma: no cover - surfaced below
+            errors.append(exc)
+            barrier.abort()
+
+    threads = [
+        threading.Thread(target=client, args=(cid,)) for cid in range(n_clients)
+    ]
+    for t in threads:
+        t.start()
+    barrier.wait()
+    start = time.perf_counter()
+    for t in threads:
+        t.join()
+    elapsed = time.perf_counter() - start
+    if errors:
+        raise errors[0]
+    return elapsed
+
+
+def _conflict_count(address: str) -> int:
+    from repro.api import connect
+
+    db = connect(address)
+    try:
+        return db.ping()["metrics"]["mvcc.conflicts"]
+    finally:
+        db.disconnect()
+
+
+def _bench_server_clients(smoke: bool, n_clients: int) -> dict:
+    per_client = {1: (12, 60), 8: (6, 30), 64: (1, 4)}[n_clients][0 if smoke else 1]
+    rounds = 3 if smoke else 5
+    with tempfile.TemporaryDirectory() as tmp:
+        handle = _start_bench_server(tmp)
+        try:
+            _server_schema(handle.address, n_clients)
+            elapsed = [
+                _server_round(handle.address, n_clients, per_client, r * per_client)
+                for r in range(rounds)
+            ]
+            conflicts = _conflict_count(handle.address)
+        finally:
+            handle.stop()
+    entry = _summarize([e * 1000.0 for e in elapsed])
+    entry["counters"] = {
+        "clients": n_clients,
+        "statements": n_clients * per_client,
+        "conflicts": conflicts,
+    }
+    entry["info"] = {
+        "stmts_per_sec": round(n_clients * per_client / min(elapsed), 1)
+    }
+    return entry
+
+
+def bench_server_one_client(smoke: bool) -> dict:
+    """Baseline: a single client committing durable statements over the
+    socket — every commit pays its own group-commit sync."""
+    return _bench_server_clients(smoke, 1)
+
+
+def bench_server_eight_clients(smoke: bool) -> dict:
+    """Eight concurrent clients on disjoint relations: conflict-free, so
+    the only cross-client coupling is the shared WAL batcher."""
+    return _bench_server_clients(smoke, 8)
+
+
+def bench_server_sixtyfour_clients(smoke: bool) -> dict:
+    """Sixty-four concurrent clients — the connection-scaling end of the
+    curve (the engine serializes execution; the wins are pipelined socket
+    turnarounds and batched fsyncs)."""
+    return _bench_server_clients(smoke, 64)
+
+
+def bench_server_scaling(smoke: bool) -> dict:
+    """Eight clients must outrun one at the same per-client statement
+    count: the gated ``eight_beats_one_ok`` flag is the CI proof that
+    cross-client group commit amortizes fsyncs instead of serializing
+    everything behind the engine lock."""
+    per_client = 8 if smoke else 40
+    rounds = 2 if smoke else 4
+    with tempfile.TemporaryDirectory() as tmp:
+        handle = _start_bench_server(tmp)
+        try:
+            _server_schema(handle.address, 8)
+            rate = {}
+            times8: list[float] = []
+            key = 0
+            for scale in (1, 8):
+                best = float("inf")
+                for _ in range(rounds):
+                    elapsed = _server_round(
+                        handle.address, scale, per_client, key
+                    )
+                    key += per_client
+                    best = min(best, elapsed)
+                    if scale == 8:
+                        times8.append(elapsed * 1000.0)
+                rate[scale] = scale * per_client / best
+        finally:
+            handle.stop()
+    entry = _summarize(times8)
+    entry["counters"] = {
+        "statements_per_client": per_client,
+        "eight_beats_one_ok": int(rate[8] > rate[1]),
+    }
+    entry["info"] = {
+        "one_client_stmts_per_sec": round(rate[1], 1),
+        "eight_client_stmts_per_sec": round(rate[8], 1),
+        "speedup": round(rate[8] / max(rate[1], 1e-9), 2),
+    }
+    return entry
+
+
 BENCHMARKS = {
     "b1_range": bench_b1_range,
     "b1_scan": bench_b1_scan,
@@ -316,9 +489,17 @@ DURABILITY_BENCHMARKS = {
     "recovery": bench_recovery,
 }
 
+SERVER_BENCHMARKS = {
+    "clients_1": bench_server_one_client,
+    "clients_8": bench_server_eight_clients,
+    "clients_64": bench_server_sixtyfour_clients,
+    "scaling": bench_server_scaling,
+}
+
 SUITES = {
     "core": BENCHMARKS,
     "durability": DURABILITY_BENCHMARKS,
+    "server": SERVER_BENCHMARKS,
 }
 
 

@@ -53,26 +53,13 @@ from repro.errors import (
 __version__ = "1.0.0"
 
 
-def connect(model: str = "relational", *, optimizer=None, trace=None):
-    """Convenience re-export of :func:`repro.api.connect`."""
+def connect(dsn=None, **kwargs):
+    """Convenience re-export of :func:`repro.api.connect` (DSN forms:
+    ``None``, ``file:PATH``, ``repro://host:port``, a bare model name)."""
     from repro.api import connect as _connect
 
-    return _connect(model, optimizer=optimizer, trace=trace)
+    return _connect(dsn, **kwargs)
 
-
-def make_relational_system():
-    """Deprecated convenience re-export; use :func:`repro.api.connect`."""
-    from repro.system import make_relational_system as factory
-
-    return factory()
-
-
-def make_model_interpreter():
-    """Deprecated convenience re-export; use
-    ``repro.api.connect(model="model")``."""
-    from repro.system import make_model_interpreter as factory
-
-    return factory()
 
 __all__ = [
     "connect",

@@ -14,6 +14,7 @@ Usage::
     python -m repro lint                 # static analysis of bundled models + rules
     python -m repro lint --strict        # exit nonzero on error diagnostics
     python -m repro lint --json F.sos    # lint spec files, JSON report
+    python -m repro serve --data-dir DIR # multi-session server (MVCC + group commit)
 
 The REPL accepts the six statement forms; a statement ends at the end of a
 line unless continued by indentation on the following lines (same rule as
@@ -414,9 +415,74 @@ def run_lint(argv: list[str]) -> int:
     return 0
 
 
+def run_serve(argv: list[str]) -> int:
+    """``python -m repro serve --data-dir DIR [--host H] [--port P]
+    [--group-commit N] [--checkpoint-interval N]``.
+
+    Serves one durable database to any number of concurrent client
+    sessions (``connect("repro://host:port")``) with snapshot isolation,
+    first-committer-wins conflicts, and cross-client group commit.
+    ``--data-dir`` may be omitted for a shared in-memory database (gone
+    when the server exits).  ``--group-commit`` defaults to 8 here —
+    batching fsyncs across clients is the point of a server.
+    """
+    data_dir, argv, ok = _take_option(argv, "--data-dir")
+    if not ok:
+        return 2
+    host, argv, ok = _take_option(argv, "--host")
+    if not ok:
+        return 2
+    raw_port, argv, ok = _take_option(argv, "--port")
+    if not ok:
+        return 2
+    raw_group, argv, ok = _take_option(argv, "--group-commit")
+    if not ok:
+        return 2
+    raw_interval, argv, ok = _take_option(argv, "--checkpoint-interval")
+    if not ok:
+        return 2
+    try:
+        port = int(raw_port) if raw_port is not None else None
+        group_commit = int(raw_group) if raw_group is not None else 8
+        interval = int(raw_interval) if raw_interval is not None else None
+    except ValueError:
+        print("error: --port / --group-commit / --checkpoint-interval "
+              "need integers", file=sys.stderr)
+        return 2
+    if argv:
+        print(f"error: unknown serve argument(s): {', '.join(argv)}",
+              file=sys.stderr)
+        return 2
+    import asyncio
+
+    from repro.server import DEFAULT_PORT, serve
+
+    try:
+        asyncio.run(
+            serve(
+                host if host is not None else "127.0.0.1",
+                port if port is not None else DEFAULT_PORT,
+                data_dir=data_dir,
+                group_commit=group_commit,
+                checkpoint_interval=interval,
+            )
+        )
+    except KeyboardInterrupt:
+        print("\n-- server stopped")
+    except SOSError as exc:
+        _print_error(exc, sys.stderr)
+        return 2
+    except OSError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    return 0
+
+
 def main(argv: list[str]) -> int:
     if argv and argv[0] == "lint":
         return run_lint(argv[1:])
+    if argv and argv[0] == "serve":
+        return run_serve(argv[1:])
     model_only = "--model" in argv
     trace = "--trace" in argv
     dump_to, argv, ok = _take_option(argv, "--dump")

@@ -1,35 +1,47 @@
 """The public entry point: ``repro.api.connect``.
 
-Everything user-facing goes through one call::
+Everything user-facing goes through one call, addressed by DSN::
 
     from repro.api import connect
 
-    db = connect()                      # full relational stack + optimizer
+    db = connect()                       # in-memory, full relational stack
     db.run("create cities : rel(city)")
     result = db.query("cities select[pop > 100000]")
     print(result.value, result.timings)
 
-    traced = connect(trace=True)        # operator metrics on every result
-    plan = traced.explain("cities select[pop > 100000]", analyze=True)
-
-    db = connect(data_dir="./mydb")     # durable: WAL + checkpoints
+    db = connect("file:./mydb")          # durable: WAL + checkpoints
     db.run('update cities := insert(cities, ...)')   # survives a crash
     db.close()
 
-``connect(model="model")`` gives a plain model-level interpreter (no
-optimizing translation — Section 2.4 semantics); everything else is the
-mixed-program system of Section 6.  Both hand back a :class:`Session`
-whose ``run`` / ``run_one`` / ``query`` all speak the same result shape,
-:class:`~repro.system.sos_system.SystemResult`.
+    db = connect("repro://localhost:7464")   # a multi-session server
+    with connect("repro://localhost") as db: # default port, auto-close
+        db.run_one("update cities := ...")   # same surface, same errors
 
-``connect(data_dir=...)`` opens (or creates) a *durable* database: the
-directory's state is recovered first (checkpoint + committed write-ahead
-log), and every mutating statement is then logged ahead of execution —
-see ``docs/DURABILITY.md``.
+The DSN forms:
 
-The old ``make_relational_system`` / ``make_model_interpreter`` /
-``make_relational_database`` factories still work but emit a
-``DeprecationWarning`` (once per process) pointing here.
+``None`` (default)
+    a fresh in-memory database with the rule-based optimizer.
+``"file:PATH"``
+    a durable database directory — recovered on open, write-ahead logged
+    afterwards (``data_dir=PATH`` is sugar for this form).
+``"repro://HOST[:PORT]"``
+    a session on a running multi-session server
+    (``python -m repro serve``) — optimistic concurrency with
+    first-committer-wins; a lost race raises
+    :class:`~repro.errors.ConflictError`, and retrying the transaction
+    succeeds.
+``"relational"`` / ``"model"``
+    legacy model names, still accepted positionally (``model="model"``
+    gives the plain Section 2.4 interpreter without optimizing
+    translation).
+
+Whatever the DSN, ``connect`` hands back a :class:`Session` —
+:class:`LocalSession` in-process, ``NetworkSession`` over a socket — with
+one surface: ``run`` / ``run_one`` / ``query`` speak
+:class:`~repro.system.sos_system.SystemResult`, ``explain`` / ``lint`` /
+``checkpoint`` / ``dump`` round it out, ``close`` is idempotent, and every
+session is a context manager.  Network sessions raise the same exception
+classes with the same fields as local ones (see ``docs/API.md``).
 """
 
 from __future__ import annotations
@@ -47,12 +59,15 @@ from repro.system.sos_system import (
     build_relational_system,
 )
 
-__all__ = ["connect", "Session"]
+__all__ = ["connect", "Session", "LocalSession"]
+
+_MODELS = ("relational", "model")
 
 
 def connect(
-    model: str = "relational",
+    dsn: Optional[str] = None,
     *,
+    model: Optional[str] = None,
     optimizer: Optional[Optimizer] = None,
     trace: object = None,
     data_dir: Optional[str] = None,
@@ -60,16 +75,18 @@ def connect(
     checkpoint_interval: Optional[int] = None,
     lint: Optional[str] = None,
 ) -> "Session":
-    """Open a session over a freshly built database.
+    """Open a session on the database the DSN names (see the module
+    docstring for the DSN forms).
 
     ``model``
         ``"relational"`` (default) — the full stack with the rule-based
         optimizer translating model-level statements to representation
         plans; ``"model"`` — a plain interpreter executing model-level
-        statements directly, no translation.
+        statements directly, no translation.  (A bare model name is also
+        accepted as the ``dsn``, the historical calling convention.)
     ``optimizer``
-        a custom :class:`~repro.optimizer.Optimizer` (relational model
-        only; the standard rule set otherwise).
+        a custom :class:`~repro.optimizer.Optimizer` (local relational
+        sessions only; the standard rule set otherwise).
     ``trace``
         ``True`` enables metric collection (every result carries
         ``metrics`` and ``rule_trace``); a callable additionally
@@ -77,17 +94,18 @@ def connect(
         :class:`~repro.observe.Tracer` is used as the bus itself.
         ``None``/``False`` leaves observability off (the default).
     ``data_dir``
-        a directory for durable state (relational model only).  Opening
-        recovers whatever the directory holds (checkpoint + committed
-        write-ahead log); afterwards every mutating statement is logged
-        ahead of execution and acknowledged only once its commit record
-        is on disk.  See ``docs/DURABILITY.md``.
+        sugar for a ``file:`` DSN: a directory for durable state
+        (relational model only).  Opening recovers whatever the directory
+        holds (checkpoint + committed write-ahead log); afterwards every
+        mutating statement is logged ahead of execution and acknowledged
+        only once its commit record is on disk.  See ``docs/DURABILITY.md``.
     ``group_commit``
-        with ``data_dir``: fsync the log every Nth commit instead of every
-        commit (records are still flushed per statement, so a process
-        crash loses nothing acknowledged; only a machine failure can).
+        with a durable DSN: fsync the log every Nth commit instead of
+        every commit (records are still flushed per statement, so a
+        process crash loses nothing acknowledged; only a machine failure
+        can).
     ``checkpoint_interval``
-        with ``data_dir``: committed statements between automatic
+        with a durable DSN: committed statements between automatic
         checkpoints (default
         :data:`repro.durability.DEFAULT_CHECKPOINT_INTERVAL`; 0 disables
         automatic checkpoints — call :meth:`Session.checkpoint`).
@@ -99,7 +117,48 @@ def connect(
         default) skips the analysis; :meth:`Session.lint` runs it on
         demand.  See ``docs/STATIC_ANALYSIS.md``.
     """
-    if model not in ("relational", "model"):
+    if dsn is not None and dsn.startswith("repro://"):
+        for name, value in (
+            ("model", model), ("optimizer", optimizer),
+            ("data_dir", data_dir), ("lint", lint),
+        ):
+            if value is not None:
+                raise CatalogError(
+                    f"{name}= does not apply to a network session; "
+                    "configure the server instead"
+                )
+        from repro.server.client import NetworkSession
+
+        session = NetworkSession.open(dsn)
+        if trace:
+            session.set_tracing(True)
+        return session
+
+    if dsn is not None:
+        if dsn.startswith("file:"):
+            path = dsn[len("file:"):]
+            if not path:
+                raise CatalogError("file: DSN needs a path, e.g. file:./mydb")
+            if data_dir is not None and data_dir != path:
+                raise CatalogError(
+                    f"conflicting locations: dsn {dsn!r} vs data_dir={data_dir!r}"
+                )
+            data_dir = path
+        elif dsn in _MODELS:
+            if model is not None and model != dsn:
+                raise CatalogError(
+                    f"conflicting models: dsn {dsn!r} vs model={model!r}"
+                )
+            model = dsn
+        else:
+            raise CatalogError(
+                f"unknown data model: {dsn!r}"
+                " (expected file:PATH, repro://host:port,"
+                " 'relational' or 'model')"
+            )
+    if model is None:
+        model = "relational"
+    if model not in _MODELS:
         raise CatalogError(f"unknown data model: {model!r}")
     if lint not in (None, "strict", "warn"):
         raise CatalogError(
@@ -114,9 +173,11 @@ def connect(
                 "durable mode needs the relational system; "
                 "the model-level interpreter has no data_dir support"
             )
-        session = Session(_interpreter=build_model_interpreter(), _tracer=tracer)
+        session = LocalSession(
+            _interpreter=build_model_interpreter(), _tracer=tracer
+        )
     else:
-        session = Session(
+        session = LocalSession(
             _system=build_relational_system(optimizer, tracer=tracer)
         )
     if callable(trace) and not isinstance(trace, Tracer):
@@ -154,17 +215,75 @@ def connect(
 
 
 class Session:
-    """A connection-like handle over one database.
+    """The connection protocol every ``connect`` variant returns.
 
     ``run`` / ``run_one`` / ``query`` all return
     :class:`~repro.system.sos_system.SystemResult` (``run`` a list of
-    them), whatever the underlying model — the single result shape of the
-    API.  ``explain`` / ``dump`` / ``restore`` round out the surface; the
-    underlying machinery stays reachable via ``session.system``,
-    ``session.database`` and ``session.tracer``.
+    them) whatever sits behind the session — the in-process system, the
+    model interpreter, or a socket to a multi-session server.  ``explain``
+    / ``lint`` / ``checkpoint`` / ``dump`` round out the shared surface;
+    ``close`` is idempotent, and a closed session still answers queries
+    while mutations raise :class:`~repro.errors.CatalogError`.  Sessions
+    are context managers (``with connect(...) as db:``).
     """
 
-    __slots__ = ("_system", "_interpreter", "_tracer")
+    __slots__ = ()
+
+    # -- shared conveniences -------------------------------------------------
+
+    def query(self, source: str) -> SystemResult:
+        """Run one query expression; the answer is ``result.value``."""
+        return self.run_one("query " + source)
+
+    def analyze(self, *names: str) -> SystemResult:
+        """Gather statistics for ``names`` (all scannable objects when
+        empty); shorthand for running an ``analyze`` statement."""
+        statement = "analyze " + ", ".join(names) if names else "analyze"
+        return self.run_one(statement)
+
+    def __enter__(self) -> "Session":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    # -- the protocol each variant implements --------------------------------
+
+    def run(self, source: str, atomic: bool = False) -> list[SystemResult]:
+        raise NotImplementedError
+
+    def run_one(self, source: str) -> SystemResult:
+        raise NotImplementedError
+
+    def explain(self, source: str, *, analyze: bool = False) -> dict:
+        raise NotImplementedError
+
+    def lint(self):
+        raise NotImplementedError
+
+    def checkpoint(self) -> int:
+        raise NotImplementedError
+
+    def dump(self) -> str:
+        raise NotImplementedError
+
+    def close(self) -> None:
+        raise NotImplementedError
+
+    @property
+    def closed(self) -> bool:
+        raise NotImplementedError
+
+
+class LocalSession(Session):
+    """A session over an in-process database (the historical ``Session``).
+
+    The underlying machinery stays reachable via ``session.system``,
+    ``session.database`` and ``session.tracer``; ``restore`` / ``stats`` /
+    ``subscribe`` / ``set_feedback`` are local-only extras.
+    """
+
+    __slots__ = ("_system", "_interpreter", "_tracer", "_closed")
 
     def __init__(self, *, _system=None, _interpreter=None, _tracer=None):
         self._system: Optional[SOSSystem] = _system
@@ -174,6 +293,7 @@ class Session:
             if _system is not None
             else (_tracer if _tracer is not None else Tracer())
         )
+        self._closed = False
 
     # ----------------------------------------------------------- properties
 
@@ -231,21 +351,33 @@ class Session:
             manager.flush()
 
     def close(self) -> None:
-        """Flush and close the durable log (no-op for in-memory sessions).
-
-        A closed durable session still answers queries, but mutating
-        statements raise — a mutation that could no longer be logged would
-        silently break the durability contract.
+        """Close the session (idempotent).  Durable state is flushed and
+        its log closed.  A closed session still answers queries, but
+        mutating statements raise :class:`~repro.errors.CatalogError` — a
+        mutation after close would silently break the durability contract
+        (and, in-memory, could never be observed again anyway).
         """
+        if self._closed:
+            return
+        self._closed = True
         manager = self.durability
         if manager is not None:
             manager.close()
 
-    def __enter__(self) -> "Session":
-        return self
+    @property
+    def closed(self) -> bool:
+        return self._closed
 
-    def __exit__(self, exc_type, exc, tb) -> None:
-        self.close()
+    def _check_mutable(self, source: str) -> None:
+        """The closed-session contract for in-memory sessions; durable
+        sessions enforce the same thing in the system front end."""
+        if not self._closed or self.durable:
+            return
+        first = source.lstrip().split(None, 1)
+        if first and first[0] != "query":
+            raise CatalogError(
+                "session is closed; reopen with connect() to mutate it"
+            )
 
     # -------------------------------------------------------- observability
 
@@ -284,12 +416,6 @@ class Session:
 
     # ------------------------------------------------------------ statistics
 
-    def analyze(self, *names: str) -> SystemResult:
-        """Gather statistics for ``names`` (all scannable objects when
-        empty); shorthand for running an ``analyze`` statement."""
-        statement = "analyze " + ", ".join(names) if names else "analyze"
-        return self.run_one(statement)
-
     def stats(self, name: str) -> dict:
         """The statistics entries related to ``name`` (its own, or its
         registered representations'), as plain dictionaries."""
@@ -304,21 +430,21 @@ class Session:
 
     def run(self, source: str, atomic: bool = False) -> list[SystemResult]:
         """Process a program; one :class:`SystemResult` per statement."""
+        if self._closed and not self.durable:
+            from repro.lang.parser import split_statements
+
+            for chunk in split_statements(source):
+                self._check_mutable(chunk)
         if self._system is not None:
             return self._system.run(source, atomic=atomic)
         return [self._lift(r) for r in self._interpreter.run(source)]
 
     def run_one(self, source: str) -> SystemResult:
         """Process exactly one statement."""
+        self._check_mutable(source)
         if self._system is not None:
             return self._system.run_one(source)
         return self._lift(self._interpreter.run_one(source))
-
-    def query(self, source: str) -> SystemResult:
-        """Run one query expression; the answer is ``result.value``."""
-        if self._system is not None:
-            return self._system.query(source)
-        return self._lift(self._interpreter.run_one("query " + source))
 
     def explain(self, source: str, *, analyze: bool = False) -> dict:
         """The plan report for a query; see :meth:`SOSSystem.explain`."""

@@ -87,6 +87,28 @@ class ResourceLimitError(ExecutionError):
     recursion depth) — the statement is aborted instead of hanging."""
 
 
+class ConflictError(SOSError):
+    """A transaction lost a first-committer-wins race.
+
+    Raised at commit time when another transaction committed a write to an
+    object (or type name) in this transaction's write set after this
+    transaction took its snapshot.  ``names`` lists the conflicting
+    objects.  The transaction is rolled back; the statement sequence can
+    simply be retried on a fresh transaction (``retryable`` is always
+    True — the standard optimistic-concurrency client loop).
+    """
+
+    def __init__(self, message: str, names: tuple[str, ...] = ()):
+        super().__init__(message)
+        self.names = tuple(names)
+        self.retryable = True
+
+
+class ProtocolError(SOSError):
+    """A network session's transport failed: the server went away
+    mid-request, sent a malformed frame, or the DSN could not be reached."""
+
+
 class StatementError(SOSError):
     """An error while processing one statement of a program.
 

@@ -1,0 +1,36 @@
+"""The multi-session server: MVCC engine, wire protocol, socket endpoints.
+
+Layering::
+
+    client.py   NetworkSession / SocketClient      (blocking, client side)
+        |  json-lines frames (wire.py codecs)
+    net.py      asyncio socket server + group-commit batcher
+        |  in-process calls
+    mvcc.py     MVCCEngine / EngineSession         (snapshots, COW, FCW)
+        |
+    ...the ordinary single-session system (repro.system)
+
+``repro.api.connect("repro://host:port")`` returns a
+:class:`~repro.server.client.NetworkSession`;
+``python -m repro serve --data-dir DIR`` runs the server.
+"""
+
+from repro.server.mvcc import EngineSession, MVCCEngine, MVCCTransaction
+from repro.server.net import (
+    DEFAULT_PORT,
+    ServerHandle,
+    SOSServer,
+    serve,
+    start_server,
+)
+
+__all__ = [
+    "DEFAULT_PORT",
+    "EngineSession",
+    "MVCCEngine",
+    "MVCCTransaction",
+    "ServerHandle",
+    "SOSServer",
+    "serve",
+    "start_server",
+]

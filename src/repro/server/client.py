@@ -1,0 +1,206 @@
+"""The network client: a blocking json-lines socket and a
+:class:`NetworkSession` that speaks the :class:`~repro.api.Session`
+protocol.
+
+``connect("repro://host:port")`` returns a :class:`NetworkSession`; the
+code below it is deliberately thin — every statement is one request line,
+every answer one response line, and the :mod:`repro.server.wire` codecs
+rebuild real library objects and real exception classes, so client code
+cannot tell a network session from a local one by its surface.
+
+Transport failures (server gone, malformed frame, connection refused)
+raise :class:`~repro.errors.ProtocolError` — the one error class local
+sessions never raise.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+from typing import Optional
+
+from repro.api import Session
+from repro.errors import CatalogError, ProtocolError
+from repro.server.net import DEFAULT_PORT
+from repro.server.wire import (
+    decode_error,
+    decode_lint_report,
+    decode_result,
+    decode_value,
+)
+from repro.system.sos_system import SystemResult
+
+
+def parse_dsn(dsn: str) -> tuple[str, int]:
+    """``repro://HOST[:PORT]`` → ``(host, port)``."""
+    if not dsn.startswith("repro://"):
+        raise CatalogError(f"not a repro:// DSN: {dsn!r}")
+    rest = dsn[len("repro://"):].rstrip("/")
+    if not rest:
+        raise CatalogError("repro:// DSN needs a host, e.g. repro://localhost")
+    host, sep, port_text = rest.rpartition(":")
+    if not sep:
+        return rest, DEFAULT_PORT
+    try:
+        return host, int(port_text)
+    except ValueError:
+        raise CatalogError(f"bad port in DSN {dsn!r}: {port_text!r}") from None
+
+
+class SocketClient:
+    """One blocking connection: ``request(op, **args)`` → decoded result."""
+
+    def __init__(self, host: str, port: int, timeout: Optional[float] = None):
+        try:
+            self._sock = socket.create_connection((host, port), timeout=10)
+        except OSError as exc:
+            raise ProtocolError(
+                f"cannot reach repro://{host}:{port}: {exc}"
+            ) from exc
+        self._sock.settimeout(timeout)
+        self._file = self._sock.makefile("rwb")
+        self.address = (host, port)
+
+    def request(self, op: str, **args):
+        frame = {"op": op, **args}
+        try:
+            self._file.write(json.dumps(frame).encode() + b"\n")
+            self._file.flush()
+            line = self._file.readline()
+        except ValueError as exc:  # writing to a locally dropped socket
+            raise ProtocolError(
+                f"connection to repro://{self.address[0]}:{self.address[1]} "
+                "was dropped; reconnect with connect()"
+            ) from exc
+        except OSError as exc:
+            raise ProtocolError(
+                f"server at repro://{self.address[0]}:{self.address[1]} "
+                f"went away mid-request: {exc}"
+            ) from exc
+        if not line:
+            raise ProtocolError(
+                "server closed the connection without answering "
+                f"(op {op!r})"
+            )
+        try:
+            response = json.loads(line)
+        except ValueError as exc:
+            raise ProtocolError(f"malformed response frame: {exc}") from exc
+        if response.get("ok"):
+            return response.get("result")
+        raise decode_error(response.get("error", {}))
+
+    def close(self) -> None:
+        try:
+            self._file.close()
+        except OSError:
+            pass
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+
+
+class NetworkSession(Session):
+    """A :class:`~repro.api.Session` over a socket to a running server.
+
+    Statements auto-commit unless a transaction is open
+    (:meth:`begin` / :meth:`commit` / :meth:`rollback`); a commit that
+    loses the first-committer-wins race raises
+    :class:`~repro.errors.ConflictError` exactly as an in-process engine
+    session would.  ``close()`` is idempotent and keeps the connection
+    usable for queries — the closed-session contract — while
+    :meth:`disconnect` drops the socket itself.
+    """
+
+    __slots__ = ("_client", "_dsn", "_closed", "_tracing")
+
+    def __init__(self, client: SocketClient, dsn: str):
+        self._client = client
+        self._dsn = dsn
+        self._closed = False
+        self._tracing = False
+
+    @classmethod
+    def open(cls, dsn: str) -> "NetworkSession":
+        host, port = parse_dsn(dsn)
+        return cls(SocketClient(host, port), f"repro://{host}:{port}")
+
+    # ------------------------------------------------------------ execution
+
+    def run(self, source: str, atomic: bool = False) -> list[SystemResult]:
+        frames = self._client.request("run", source=source, atomic=atomic)
+        return [decode_result(f) for f in frames]
+
+    def run_one(self, source: str) -> SystemResult:
+        return decode_result(self._client.request("run_one", source=source))
+
+    def explain(self, source: str, *, analyze: bool = False) -> dict:
+        return decode_value(
+            self._client.request("explain", source=source, analyze=analyze)
+        )
+
+    def lint(self):
+        return decode_lint_report(self._client.request("lint"))
+
+    # --------------------------------------------------------- transactions
+
+    def begin(self) -> None:
+        """Open an explicit transaction (snapshot isolation; commit wins
+        or raises :class:`~repro.errors.ConflictError`)."""
+        self._client.request("begin")
+
+    def commit(self) -> None:
+        self._client.request("commit")
+
+    def rollback(self) -> None:
+        self._client.request("rollback")
+
+    # ------------------------------------------------------------ store-wide
+
+    def checkpoint(self) -> int:
+        return self._client.request("checkpoint")
+
+    def dump(self) -> str:
+        return self._client.request("dump")
+
+    def set_tracing(self, enabled: bool = True) -> None:
+        """Toggle metric collection for this session's statements."""
+        self._client.request("set_tracing", enabled=bool(enabled))
+        self._tracing = bool(enabled)
+
+    @property
+    def tracing(self) -> bool:
+        return self._tracing
+
+    def ping(self) -> dict:
+        """Server/session status: engine metrics (``mvcc.*``), this
+        session's statement counters, and flags."""
+        return self._client.request("ping")
+
+    # ------------------------------------------------------------- lifecycle
+
+    def close(self) -> None:
+        """Idempotent.  Rolls back an open transaction server-side and
+        marks the session closed: queries keep working, mutations raise
+        :class:`~repro.errors.CatalogError` (the durable local contract).
+        """
+        if self._closed:
+            return
+        try:
+            self._client.request("close")
+        except ProtocolError:
+            pass  # server already gone: nothing left to close
+        self._closed = True
+
+    def disconnect(self) -> None:
+        """Drop the socket (an open transaction is rolled back server-side)."""
+        self._client.close()
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def __repr__(self) -> str:
+        state = "closed" if self._closed else "open"
+        return f"<NetworkSession {self._dsn} ({state})>"

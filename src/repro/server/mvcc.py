@@ -1,0 +1,624 @@
+"""Multi-version concurrency over one shared database.
+
+One :class:`MVCCEngine` owns a single (optionally durable)
+:class:`~repro.system.sos_system.SOSSystem` and multiplexes any number of
+:class:`EngineSession` handles over it — the in-process core the socket
+server (:mod:`repro.server.net`) exposes to the network.  The design
+follows the PR-1 transaction machinery and the PR-3 statistics catalog:
+
+**Snapshots are shallow.**  A transaction begins by copying the catalog
+dictionaries (``aliases``, ``objects``, the statistics entries) — pointer
+copies, exactly what a :class:`~repro.system.transactions.Savepoint` takes.
+Readers then see the committed :class:`DatabaseObject` instances of their
+snapshot no matter what later writers do.
+
+**Writes are copy-on-write.**  Before an update statement evaluates, the
+engine's :attr:`Database.cow_hook` gives every object the statement will
+touch a *private* clone (``clone_value`` — structural copies sharing
+tuples), rebinding it in the transaction's workspace.  In-place update
+functions therefore mutate only the clone; the committed value other
+sessions read is never touched.  The write set falls out for free: any
+name whose workspace entry is no longer the snapshot's instance.
+
+**First committer wins.**  The engine keeps a version number per committed
+name.  At commit, any write-set name whose committed version is newer than
+the transaction's snapshot raises :class:`~repro.errors.ConflictError`;
+the loser's workspace is discarded and the client simply retries.
+
+**Durability is transaction-granular.**  Statement texts are buffered in
+the transaction and reach the write-ahead log only at commit — begin/stmt
+records, then commit records — so an aborted or conflicted transaction
+leaves *zero* bytes in the log and a client dying mid-transaction leaves
+no WAL residue.  The in-memory publish happens before the log write: a
+crash between the two loses an unacknowledged transaction (allowed), and
+an auto-checkpoint triggered by the commit records dumps a state that
+already includes them (required).  Group commit *across* sessions is the
+server's job: the engine appends commit records under the manager's
+group-commit policy and only fsyncs eagerly when ``sync=True``.
+
+Statement execution itself is serialized (``threading.RLock``): the engine
+swaps the transaction's workspace into the shared database's catalog
+dictionaries *by content* (the parser and typechecker hold live references
+to the dict instances), runs the statement through the unchanged Section 6
+pipeline, and swaps the committed state back.  Concurrency is between
+transactions, never within a statement — the semantics every paper example
+was verified under.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Optional
+
+from repro import observe
+from repro.catalog.database import DatabaseObject
+from repro.errors import CatalogError, ConflictError, SOSError, StatementError, wrap_statement_error
+from repro.lang.parser import split_statements
+from repro.observe import Tracer
+from repro.system.sos_system import SystemResult, build_relational_system
+from repro.system.transactions import clone_value
+from repro.testing.faults import fault_point
+
+
+class MVCCTransaction:
+    """One transaction's snapshot, workspace, and buffered WAL statements.
+
+    ``aliases`` / ``objects`` / ``stats`` are the *workspace* — the dicts
+    installed into the shared database while this transaction executes a
+    statement.  The ``snapshot_*`` twins are frozen at begin; the write set
+    is every name whose workspace entry differs from its snapshot entry by
+    identity (copy-on-write guarantees a privatized or created object is a
+    fresh instance).
+    """
+
+    __slots__ = (
+        "start_version",
+        "aliases",
+        "objects",
+        "stats",
+        "snapshot_aliases",
+        "snapshot_objects",
+        "snapshot_stats",
+        "statements",
+        "cow",
+        "state",
+    )
+
+    def __init__(self, database, start_version: int):
+        self.start_version = start_version
+        self.aliases = dict(database.aliases)
+        self.objects = dict(database.objects)
+        self.stats = database.stats.snapshot()
+        self.snapshot_aliases = dict(self.aliases)
+        self.snapshot_objects = dict(self.objects)
+        self.snapshot_stats = dict(self.stats)
+        self.statements: list[str] = []
+        self.cow: set[str] = set()
+        self.state = "active"
+
+    @property
+    def active(self) -> bool:
+        return self.state == "active"
+
+    def write_sets(self) -> tuple[dict, set, dict, set]:
+        """``(object writes, object drops, alias writes, alias drops)`` —
+        identity diffs of the workspace against the snapshot."""
+        obj_writes = {
+            name: obj
+            for name, obj in self.objects.items()
+            if self.snapshot_objects.get(name) is not obj
+        }
+        obj_drops = set(self.snapshot_objects) - set(self.objects)
+        alias_writes = {
+            name: t
+            for name, t in self.aliases.items()
+            if self.snapshot_aliases.get(name) is not t
+        }
+        alias_drops = set(self.snapshot_aliases) - set(self.aliases)
+        return obj_writes, obj_drops, alias_writes, alias_drops
+
+
+class MVCCEngine:
+    """The shared database plus the version bookkeeping of the store.
+
+    ``data_dir`` makes the store durable (recovery on open, WAL at commit);
+    ``group_commit`` is handed to the
+    :class:`~repro.durability.DurabilityManager` so commit records batch
+    their fsyncs — the socket server turns that into cross-client group
+    commit by committing with ``sync=False`` and flushing once per batch.
+    """
+
+    def __init__(
+        self,
+        *,
+        data_dir: Optional[str] = None,
+        group_commit: int = 1,
+        checkpoint_interval: Optional[int] = None,
+        optimizer=None,
+        tracer: Optional[Tracer] = None,
+    ):
+        self.system = build_relational_system(optimizer, tracer=tracer)
+        self.database = self.system.database
+        self.tracer = self.system.tracer
+        self.durability = None
+        if data_dir is not None:
+            from repro.durability import (
+                DEFAULT_CHECKPOINT_INTERVAL,
+                DurabilityManager,
+            )
+
+            self.durability = DurabilityManager(
+                data_dir,
+                group_commit=group_commit,
+                checkpoint_interval=(
+                    DEFAULT_CHECKPOINT_INTERVAL
+                    if checkpoint_interval is None
+                    else checkpoint_interval
+                ),
+                tracer=self.tracer,
+            )
+            self.durability.attach(self.system)
+        self.commit_version = 0
+        self.versions: dict[str, int] = {}
+        self.alias_versions: dict[str, int] = {}
+        self.metrics: dict[str, int] = {
+            "mvcc.snapshots": 0,
+            "mvcc.commits": 0,
+            "mvcc.conflicts": 0,
+            "mvcc.rollbacks": 0,
+        }
+        self._lock = threading.RLock()
+        self._saved = None
+        self._sessions = 0
+        self.closed = False
+
+    # ------------------------------------------------------------- sessions
+
+    def session(self) -> "EngineSession":
+        """A new session handle over this engine (auto-commit by default)."""
+        with self._lock:
+            self._sessions += 1
+            return EngineSession(self, self._sessions)
+
+    @property
+    def durable(self) -> bool:
+        return self.durability is not None
+
+    # ---------------------------------------------------------- transactions
+
+    def begin(self) -> MVCCTransaction:
+        with self._lock:
+            txn = MVCCTransaction(self.database, self.commit_version)
+            self._bump("mvcc.snapshots")
+            return txn
+
+    def _bump(self, name: str) -> None:
+        self.metrics[name] = self.metrics.get(name, 0) + 1
+        if observe.ENABLED:
+            observe.incr(name)
+        self.tracer.emit(name, kind="counter", value=self.metrics[name])
+
+    # ------------------------------------------------------------- execution
+
+    def run_in(
+        self, txn: MVCCTransaction, source: str, *, collect: bool = False
+    ) -> SystemResult:
+        """Execute one statement inside ``txn``'s workspace.
+
+        The statement-level atomicity machinery applies unchanged — a
+        failure rolls the workspace back to the statement boundary and the
+        transaction stays usable.
+        """
+        with self._lock:
+            self._require_open()
+            if not txn.active:
+                raise CatalogError(f"transaction is {txn.state}")
+            chunk = source.strip()
+            self._install(txn)
+            try:
+                result = self._run_plain(chunk, collect=collect)
+            finally:
+                self._extract(txn)
+            if result.kind != "query":
+                txn.statements.append(chunk)
+            return result
+
+    def explain_in(
+        self, txn: MVCCTransaction, source: str, *, analyze: bool = False
+    ) -> dict:
+        with self._lock:
+            self._require_open()
+            self._install(txn)
+            try:
+                saved = self.system.durability
+                self.system.durability = None
+                try:
+                    return self.system.explain(source, analyze=analyze)
+                finally:
+                    self.system.durability = saved
+            finally:
+                self._extract(txn)
+
+    def _run_plain(self, chunk: str, *, collect: bool) -> SystemResult:
+        """One statement through the ordinary pipeline, with per-statement
+        WAL logging disabled (the engine logs at transaction commit)."""
+        system = self.system
+        saved_dur = system.durability
+        saved_collect = system.tracing
+        system.durability = None
+        if collect != saved_collect:
+            system.set_tracing(collect)
+        try:
+            return system.run_one(chunk)
+        finally:
+            system.durability = saved_dur
+            if collect != saved_collect:
+                system.set_tracing(saved_collect)
+
+    # ------------------------------------------------- workspace installation
+
+    def _install(self, txn: MVCCTransaction) -> None:
+        """Swap ``txn``'s workspace into the shared database (by content —
+        the parser and typechecker hold live references to the dicts)."""
+        db = self.database
+        self._saved = (dict(db.aliases), dict(db.objects), db.stats.snapshot())
+        db.aliases.clear()
+        db.aliases.update(txn.aliases)
+        db.objects.clear()
+        db.objects.update(txn.objects)
+        db.stats.restore(txn.stats)
+        db.cow_hook = lambda names: self._privatize(txn, names)
+
+    def _extract(self, txn: MVCCTransaction) -> None:
+        """Copy the (possibly mutated) workspace back out of the database
+        and restore the committed state."""
+        db = self.database
+        db.cow_hook = None
+        txn.aliases = dict(db.aliases)
+        txn.objects = dict(db.objects)
+        txn.stats = db.stats.snapshot()
+        aliases, objects, stats = self._saved
+        self._saved = None
+        db.aliases.clear()
+        db.aliases.update(aliases)
+        db.objects.clear()
+        db.objects.update(objects)
+        db.stats.restore(stats)
+
+    def _privatize(self, txn: MVCCTransaction, names) -> None:
+        """Copy-on-write: give each about-to-be-mutated object a private
+        clone in the installed workspace (once per transaction)."""
+        db = self.database
+        for name in names:
+            if name in txn.cow:
+                continue
+            obj = db.objects.get(name)
+            if obj is None:
+                continue
+            if txn.snapshot_objects.get(name) is not obj:
+                # Created (or already privatized) inside this transaction.
+                txn.cow.add(name)
+                continue
+            private = DatabaseObject(obj.name, obj.type, obj.level)
+            private.value = clone_value(obj.value)
+            db.objects[name] = private
+            txn.cow.add(name)
+
+    # ---------------------------------------------------------------- commit
+
+    def commit(self, txn: MVCCTransaction, *, sync: bool = True) -> None:
+        """First-committer-wins check, publish, write-ahead log.
+
+        With ``sync=False`` the commit records are appended (and flushed to
+        the OS) but not fsynced — the caller must
+        :meth:`sync_wal` before acknowledging the client; the socket server
+        batches that fsync across sessions.
+        """
+        with self._lock:
+            self._require_open()
+            if not txn.active:
+                raise CatalogError(f"cannot commit a {txn.state} transaction")
+            obj_writes, obj_drops, alias_writes, alias_drops = txn.write_sets()
+            conflicts = sorted(
+                {
+                    name
+                    for name in (*obj_writes, *obj_drops)
+                    if self.versions.get(name, 0) > txn.start_version
+                }
+                | {
+                    name
+                    for name in (*alias_writes, *alias_drops)
+                    if self.alias_versions.get(name, 0) > txn.start_version
+                }
+            )
+            if conflicts:
+                txn.state = "aborted"
+                self._bump("mvcc.conflicts")
+                raise ConflictError(
+                    "transaction lost the first-committer-wins race on "
+                    + ", ".join(conflicts)
+                    + "; retry on a fresh transaction",
+                    names=tuple(conflicts),
+                )
+            fault_point("mvcc.commit")
+            if obj_writes or obj_drops or alias_writes or alias_drops:
+                self._publish(
+                    txn, obj_writes, obj_drops, alias_writes, alias_drops
+                )
+            fault_point("mvcc.publish")
+            dur = self.durability
+            if dur is not None and txn.statements:
+                seqs = [dur.log_statement(text) for text in txn.statements]
+                for seq in seqs:
+                    dur.commit(seq)
+                if sync:
+                    dur.flush()
+            txn.state = "committed"
+            self._bump("mvcc.commits")
+
+    def _publish(
+        self, txn, obj_writes, obj_drops, alias_writes, alias_drops
+    ) -> None:
+        db = self.database
+        self.commit_version += 1
+        version = self.commit_version
+        for name, obj in obj_writes.items():
+            db.objects[name] = obj
+            self.versions[name] = version
+        for name in obj_drops:
+            db.objects.pop(name, None)
+            self.versions[name] = version
+        for name, t in alias_writes.items():
+            db.aliases[name] = t
+            self.alias_versions[name] = version
+        for name in alias_drops:
+            db.aliases.pop(name, None)
+            self.alias_versions[name] = version
+        # Statistics entries are immutable copy-on-write values; publish the
+        # changed ones without conflict checks (metadata: last writer wins).
+        for name, entry in txn.stats.items():
+            if txn.snapshot_stats.get(name) is not entry:
+                db.stats.entries[name] = entry
+        for name in set(txn.snapshot_stats) - set(txn.stats):
+            db.stats.entries.pop(name, None)
+
+    def rollback(self, txn: MVCCTransaction) -> None:
+        """Discard the workspace; the committed store was never touched."""
+        with self._lock:
+            if txn.active:
+                txn.state = "rolled-back"
+                self._bump("mvcc.rollbacks")
+
+    def sync_wal(self) -> None:
+        """Fsync any commit records still pending under group commit."""
+        with self._lock:
+            if self.durability is not None:
+                self.durability.flush()
+
+    # ------------------------------------------------------------ store-wide
+
+    def checkpoint(self) -> int:
+        with self._lock:
+            self._require_open()
+            if self.durability is None:
+                raise CatalogError(
+                    "engine has no data_dir; nothing to checkpoint"
+                )
+            return self.durability.checkpoint()
+
+    def lint(self):
+        from repro.lint import lint_database
+
+        with self._lock:
+            return lint_database(
+                self.database, self.system.optimizer, source=repr(self)
+            )
+
+    def dump(self) -> str:
+        from repro.system.dump import dump_program
+
+        with self._lock:
+            return dump_program(self.database)
+
+    def close(self) -> None:
+        """Flush and close the WAL; the engine refuses further statements."""
+        with self._lock:
+            if self.closed:
+                return
+            self.closed = True
+            if self.durability is not None:
+                self.durability.close()
+
+    def _require_open(self) -> None:
+        if self.closed:
+            raise CatalogError("engine is closed")
+
+    def __repr__(self) -> str:
+        where = (
+            self.durability.data_dir if self.durability is not None else "mem"
+        )
+        return (
+            f"<MVCCEngine {where} v{self.commit_version} "
+            f"sessions={self._sessions}>"
+        )
+
+
+class EngineSession:
+    """One client's view of the engine: auto-commit statements, explicit
+    ``begin``/``commit``/``rollback``, and the closed-session contract
+    (queries keep working, mutations raise) shared with durable local
+    sessions."""
+
+    __slots__ = ("engine", "session_id", "counters", "tracing", "_txn", "_closed")
+
+    def __init__(self, engine: MVCCEngine, session_id: int):
+        self.engine = engine
+        self.session_id = session_id
+        self.counters: dict[str, int] = {
+            "statements": 0,
+            "queries": 0,
+            "conflicts": 0,
+            "commits": 0,
+        }
+        self.tracing = False
+        self._txn: Optional[MVCCTransaction] = None
+        self._closed = False
+
+    # ---------------------------------------------------------- transactions
+
+    @property
+    def in_transaction(self) -> bool:
+        return self._txn is not None
+
+    def begin(self) -> None:
+        self._require_mutable("begin a transaction on")
+        if self._txn is not None:
+            raise CatalogError("a transaction is already open on this session")
+        self._txn = self.engine.begin()
+
+    def commit(self, *, sync: bool = True) -> None:
+        if self._txn is None:
+            raise CatalogError("no transaction is open on this session")
+        txn, self._txn = self._txn, None
+        try:
+            self.engine.commit(txn, sync=sync)
+        except ConflictError:
+            self.counters["conflicts"] += 1
+            raise
+        self.counters["commits"] += 1
+
+    def rollback(self) -> None:
+        if self._txn is None:
+            raise CatalogError("no transaction is open on this session")
+        txn, self._txn = self._txn, None
+        self.engine.rollback(txn)
+
+    def abort_open_transaction(self) -> None:
+        """Roll back a dangling transaction (client disconnect path)."""
+        if self._txn is not None:
+            txn, self._txn = self._txn, None
+            self.engine.rollback(txn)
+
+    # ------------------------------------------------------------- execution
+
+    def run_one(self, source: str, *, sync: bool = True) -> SystemResult:
+        statement_is_query = source.lstrip().startswith("query")
+        if not statement_is_query:
+            self._require_mutable("mutate")
+        elif self._closed:
+            # Closed sessions still answer queries against the committed
+            # state — the durable local-session contract.
+            return self._read_only_query(source)
+        self.counters["statements"] += 1
+        if statement_is_query:
+            self.counters["queries"] += 1
+        if self._txn is not None:
+            try:
+                return self.engine.run_in(
+                    self._txn, source, collect=self.tracing
+                )
+            except ConflictError:
+                self.counters["conflicts"] += 1
+                raise
+        txn = self.engine.begin()
+        try:
+            result = self.engine.run_in(txn, source, collect=self.tracing)
+        except BaseException:
+            self.engine.rollback(txn)
+            raise
+        try:
+            self.engine.commit(txn, sync=sync)
+        except ConflictError:
+            self.counters["conflicts"] += 1
+            raise
+        self.counters["commits"] += 1
+        return result
+
+    def _read_only_query(self, source: str) -> SystemResult:
+        txn = self.engine.begin()
+        try:
+            return self.engine.run_in(txn, source, collect=self.tracing)
+        finally:
+            self.engine.rollback(txn)
+
+    def run(
+        self, source: str, atomic: bool = False, *, sync: bool = True
+    ) -> list[SystemResult]:
+        chunks = split_statements(source)
+        if atomic:
+            if self._txn is not None:
+                raise CatalogError(
+                    "atomic programs cannot nest inside an open transaction"
+                )
+            self._require_mutable("run an atomic program on")
+            self.begin()
+            try:
+                results = [
+                    self._run_indexed(chunk, index)
+                    for index, chunk in enumerate(chunks)
+                ]
+            except BaseException:
+                self.rollback()
+                raise
+            self.commit(sync=sync)
+            return results
+        return [
+            self._run_indexed(chunk, index, sync=sync)
+            for index, chunk in enumerate(chunks)
+        ]
+
+    def _run_indexed(
+        self, chunk: str, index: int, *, sync: bool = True
+    ) -> SystemResult:
+        """Run one program chunk, stamping the program-level statement
+        index onto any error (``run_one`` wraps with ``index=None``)."""
+        try:
+            return self.run_one(chunk, sync=sync)
+        except StatementError as exc:
+            if exc.index is None:
+                exc.index = index
+            if exc.source is None:
+                exc.source = chunk
+            raise
+        except SOSError as exc:
+            raise wrap_statement_error(exc, index=index, source=chunk) from exc
+
+    def query(self, source: str, *, sync: bool = True) -> SystemResult:
+        return self.run_one("query " + source, sync=sync)
+
+    def explain(self, source: str, *, analyze: bool = False) -> dict:
+        if self._txn is not None:
+            return self.engine.explain_in(self._txn, source, analyze=analyze)
+        txn = self.engine.begin()
+        try:
+            return self.engine.explain_in(txn, source, analyze=analyze)
+        finally:
+            self.engine.rollback(txn)
+
+    # -------------------------------------------------------------- lifecycle
+
+    def close(self) -> None:
+        """Idempotent: roll back any open transaction and flush the WAL.
+        The session stays usable for queries; mutations raise."""
+        if self._closed:
+            return
+        self.abort_open_transaction()
+        self.engine.sync_wal()
+        self._closed = True
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def _require_mutable(self, what: str) -> None:
+        if self._closed:
+            raise CatalogError(
+                f"session is closed; cannot {what} it (queries still work)"
+            )
+        self.engine._require_open()
+
+    def __repr__(self) -> str:
+        state = "closed" if self._closed else (
+            "in-txn" if self._txn is not None else "idle"
+        )
+        return f"<EngineSession {self.session_id} {state}>"

@@ -1,0 +1,389 @@
+"""The asyncio socket server: many client sessions, one durable database.
+
+Protocol: json-lines — one request object per line, one response per line,
+strictly request/response per connection (clients are blocking).  Request
+``{"op": ..., ...}``; response ``{"ok": true, "result": ...}`` or
+``{"ok": false, "error": <error frame>}`` (see :mod:`repro.server.wire`).
+
+Statements execute on worker threads (``asyncio.to_thread``) so the event
+loop keeps reading other clients while the engine's lock serializes actual
+execution — that overlap, plus cross-client group commit, is where the
+multi-client throughput comes from.
+
+**Cross-client group commit.**  The engine commits with ``sync=False``:
+commit records are appended and flushed (a *process* crash loses nothing)
+but not yet fsynced.  Before acknowledging, a handler awaits
+:meth:`GroupCommitBatcher.sync`, which yields to the event loop once so
+other handlers' commits can pile in, then issues a single fsync for the
+whole batch.  Every acknowledged statement is durable; concurrent clients
+share fsyncs instead of paying one each.
+
+A client that disconnects mid-transaction gets its open transaction rolled
+back — buffered statements are discarded before they ever reach the
+write-ahead log, so the disconnect leaves no WAL residue.
+
+The ``server.ack`` fault site fires just before a successful statement
+response is written; an injected fault there drops the connection instead
+of answering — the committed-but-unacknowledged window the crash matrix
+probes.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import threading
+from typing import Optional
+
+from repro.errors import ProtocolError
+from repro.server.mvcc import EngineSession, MVCCEngine
+from repro.server.wire import (
+    encode_error,
+    encode_lint_report,
+    encode_result,
+    encode_value,
+)
+from repro.testing.faults import InjectedFault, fault_point
+
+#: The default server port ("SOS" on a phone keypad, close enough: 7464).
+DEFAULT_PORT = 7464
+
+
+class GroupCommitBatcher:
+    """Coalesces WAL fsyncs across concurrently-committing handlers.
+
+    The first committer of a batch creates the shared future, yields once
+    (``sleep(0)``) so every handler that committed in the meantime can
+    attach to the same batch, then fsyncs once and wakes them all.
+    """
+
+    def __init__(self, engine_ref):
+        self._engine_ref = engine_ref
+        self._waiter: Optional[asyncio.Future] = None
+        self.batches = 0
+        self.synced = 0
+
+    async def sync(self) -> None:
+        self.synced += 1
+        if self._waiter is not None:
+            await self._waiter
+            return
+        self._waiter = asyncio.get_running_loop().create_future()
+        waiter = self._waiter
+        await asyncio.sleep(0)  # let concurrent commits join this batch
+        self._waiter = None
+        self.batches += 1
+        try:
+            await asyncio.to_thread(self._engine_ref().sync_wal)
+        except BaseException as exc:
+            waiter.set_exception(exc)
+            # A batch-mate re-raises it too; mark retrieved either way.
+            try:
+                await waiter
+            except BaseException:
+                raise
+        else:
+            waiter.set_result(None)
+
+
+class SOSServer:
+    """One listening socket over one :class:`MVCCEngine`."""
+
+    def __init__(
+        self,
+        *,
+        data_dir: Optional[str] = None,
+        group_commit: int = 8,
+        checkpoint_interval: Optional[int] = None,
+        allow_reset: bool = False,
+    ):
+        self._config = {
+            "data_dir": data_dir,
+            "group_commit": group_commit,
+            "checkpoint_interval": checkpoint_interval,
+        }
+        self.engine = MVCCEngine(**self._config)
+        self.allow_reset = allow_reset
+        self.batcher = GroupCommitBatcher(lambda: self.engine)
+        self.connections = 0
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._handlers: set[asyncio.Task] = set()
+
+    # ---------------------------------------------------------------- serving
+
+    async def start(self, host: str = "127.0.0.1", port: int = DEFAULT_PORT):
+        self._server = await asyncio.start_server(self._handle, host, port)
+        return self._server.sockets[0].getsockname()[:2]
+
+    async def serve_forever(self) -> None:
+        assert self._server is not None
+        async with self._server:
+            await self._server.serve_forever()
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        for task in tuple(self._handlers):
+            task.cancel()
+        if self._handlers:
+            await asyncio.gather(*self._handlers, return_exceptions=True)
+        self.engine.close()
+
+    # ------------------------------------------------------------ per-client
+
+    async def _handle(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self.connections += 1
+        task = asyncio.current_task()
+        if task is not None:
+            self._handlers.add(task)
+        session = self.engine.session()
+        try:
+            while True:
+                try:
+                    line = await reader.readline()
+                except asyncio.CancelledError:
+                    break  # server shutting down; finish cleanly
+                if not line:
+                    break  # client went away
+                try:
+                    request = json.loads(line)
+                    response = await self._dispatch(session, request)
+                except InjectedFault:
+                    # server.ack (or a fault plan armed over the wire)
+                    # fired: drop the connection without answering, like a
+                    # crash between commit and acknowledgement.
+                    break
+                except Exception as exc:  # noqa: BLE001 — encode, don't die
+                    response = {"ok": False, "error": encode_error(exc)}
+                writer.write(json.dumps(response).encode() + b"\n")
+                await writer.drain()
+        finally:
+            if task is not None:
+                self._handlers.discard(task)
+            # Disconnect (or drop) mid-transaction: roll the open
+            # transaction back; its statements never reached the WAL.
+            session.abort_open_transaction()
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, OSError, RuntimeError):
+                pass
+
+    async def _dispatch(self, session: EngineSession, request: dict) -> dict:
+        op = request.get("op")
+        handler = getattr(self, "_op_" + str(op), None)
+        if handler is None:
+            raise ProtocolError(f"unknown op: {op!r}")
+        result = await handler(session, request)
+        return {"ok": True, "result": result}
+
+    async def _sync_before_ack(self, session: EngineSession) -> None:
+        """Group-commit barrier: make everything this session committed
+        durable before the acknowledgement goes out."""
+        if self.engine.durable and not session.in_transaction:
+            await self.batcher.sync()
+
+    # ------------------------------------------------------------------- ops
+
+    async def _op_run_one(self, session, request):
+        result = await asyncio.to_thread(
+            session.run_one, request["source"], sync=False
+        )
+        if result.kind != "query":
+            await self._sync_before_ack(session)
+        fault_point("server.ack")
+        return encode_result(result)
+
+    async def _op_run(self, session, request):
+        results = await asyncio.to_thread(
+            session.run,
+            request["source"],
+            bool(request.get("atomic", False)),
+            sync=False,
+        )
+        if any(r.kind != "query" for r in results):
+            await self._sync_before_ack(session)
+        fault_point("server.ack")
+        return [encode_result(r) for r in results]
+
+    async def _op_begin(self, session, request):
+        session.begin()
+        return None
+
+    async def _op_commit(self, session, request):
+        await asyncio.to_thread(session.commit, sync=False)
+        if self.engine.durable:
+            await self.batcher.sync()
+        fault_point("server.ack")
+        return None
+
+    async def _op_rollback(self, session, request):
+        session.rollback()
+        return None
+
+    async def _op_explain(self, session, request):
+        info = await asyncio.to_thread(
+            session.explain,
+            request["source"],
+            analyze=bool(request.get("analyze", False)),
+        )
+        return encode_value(info)
+
+    async def _op_lint(self, session, request):
+        report = await asyncio.to_thread(self.engine.lint)
+        return encode_lint_report(report)
+
+    async def _op_checkpoint(self, session, request):
+        return await asyncio.to_thread(self.engine.checkpoint)
+
+    async def _op_dump(self, session, request):
+        return await asyncio.to_thread(self.engine.dump)
+
+    async def _op_close(self, session, request):
+        # The connection stays open: a closed session still answers
+        # queries, but mutations raise — the durable-session contract.
+        await asyncio.to_thread(session.close)
+        return None
+
+    async def _op_set_tracing(self, session, request):
+        session.tracing = bool(request.get("enabled", True))
+        return None
+
+    async def _op_ping(self, session, request):
+        return {
+            "server": "repro",
+            "durable": self.engine.durable,
+            "session": session.session_id,
+            "metrics": dict(self.engine.metrics),
+            "counters": dict(session.counters),
+            "closed": session.closed,
+            "in_transaction": session.in_transaction,
+        }
+
+    async def _op_reset(self, session, request):
+        """Test-only (``allow_reset``): swap in a fresh engine so a shared
+        test server gives each test an empty database."""
+        if not self.allow_reset:
+            raise ProtocolError("server does not allow reset")
+        old = self.engine
+        self.engine = MVCCEngine(**self._config)
+        old.close()
+        session.engine = self.engine
+        session._txn = None
+        session._closed = False
+        return None
+
+
+# ---------------------------------------------------------------------------
+# Entry points
+# ---------------------------------------------------------------------------
+
+
+async def serve(
+    host: str = "127.0.0.1",
+    port: int = DEFAULT_PORT,
+    *,
+    data_dir: Optional[str] = None,
+    group_commit: int = 8,
+    checkpoint_interval: Optional[int] = None,
+    ready: Optional[threading.Event] = None,
+) -> None:
+    """Run a server until cancelled (the ``python -m repro serve`` body)."""
+    server = SOSServer(
+        data_dir=data_dir,
+        group_commit=group_commit,
+        checkpoint_interval=checkpoint_interval,
+    )
+    bound = await server.start(host, port)
+    print(f"repro server listening on {bound[0]}:{bound[1]}", flush=True)
+    if ready is not None:
+        ready.set()
+    try:
+        await server.serve_forever()
+    finally:
+        await server.stop()
+
+
+class ServerHandle:
+    """A server running on a background thread — the in-process harness the
+    tests and benchmarks use.  ``stop()`` is idempotent."""
+
+    def __init__(self, server: SOSServer, host: str, port: int, loop, thread):
+        self.server = server
+        self.host = host
+        self.port = port
+        self._loop = loop
+        self._thread = thread
+        self._stopped = False
+
+    @property
+    def address(self) -> str:
+        return f"repro://{self.host}:{self.port}"
+
+    def stop(self) -> None:
+        if self._stopped:
+            return
+        self._stopped = True
+        asyncio.run_coroutine_threadsafe(
+            self.server.stop(), self._loop
+        ).result(timeout=10)
+        self._loop.call_soon_threadsafe(self._loop.stop)
+        self._thread.join(timeout=10)
+        self._loop.close()
+
+    def __enter__(self) -> "ServerHandle":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.stop()
+
+
+def start_server(
+    host: str = "127.0.0.1",
+    port: int = 0,
+    *,
+    data_dir: Optional[str] = None,
+    group_commit: int = 8,
+    checkpoint_interval: Optional[int] = None,
+    allow_reset: bool = False,
+) -> ServerHandle:
+    """Start a server on a background thread; ``port=0`` picks a free port.
+    Returns a :class:`ServerHandle` whose ``address`` is a ready-to-use
+    ``repro://`` DSN."""
+    loop = asyncio.new_event_loop()
+    server = SOSServer(
+        data_dir=data_dir,
+        group_commit=group_commit,
+        checkpoint_interval=checkpoint_interval,
+        allow_reset=allow_reset,
+    )
+    started: dict = {}
+    ready = threading.Event()
+
+    def runner() -> None:
+        asyncio.set_event_loop(loop)
+
+        async def boot():
+            try:
+                started["address"] = await server.start(host, port)
+            except BaseException as exc:  # noqa: BLE001
+                started["error"] = exc
+            ready.set()
+
+        loop.run_until_complete(boot())
+        if "error" not in started:
+            loop.run_forever()
+
+    thread = threading.Thread(target=runner, name="repro-server", daemon=True)
+    thread.start()
+    if not ready.wait(timeout=10):
+        raise ProtocolError("server did not start within 10s")
+    if "error" in started:
+        thread.join(timeout=5)
+        loop.close()
+        raise started["error"]
+    bound_host, bound_port = started["address"]
+    return ServerHandle(server, bound_host, bound_port, loop, thread)

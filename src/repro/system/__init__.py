@@ -8,8 +8,7 @@ rule-based optimizer, and executes the result.
 :func:`build_relational_system` assembles the complete relational stack —
 base + relational model + representation model + catalog — with the
 standard rule set.  The public entry point is :func:`repro.api.connect`,
-which wraps it in a :class:`~repro.api.Session`; the old
-``make_relational_system`` & friends remain as deprecated shims.
+which wraps it in a :class:`~repro.api.Session`.
 """
 
 from repro.system.dump import dump_program, restore_program
@@ -19,9 +18,6 @@ from repro.system.sos_system import (
     build_model_interpreter,
     build_relational_database,
     build_relational_system,
-    make_model_interpreter,
-    make_relational_database,
-    make_relational_system,
 )
 from repro.system.transactions import (
     Savepoint,
@@ -38,9 +34,6 @@ __all__ = [
     "build_model_interpreter",
     "build_relational_database",
     "build_relational_system",
-    "make_model_interpreter",
-    "make_relational_database",
-    "make_relational_system",
     "dump_program",
     "restore_program",
     "program_transaction",

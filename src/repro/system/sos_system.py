@@ -27,7 +27,6 @@ tuple counts, storage access counters, the simulated-I/O delta) and a
 from __future__ import annotations
 
 import time
-import warnings
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Iterator, Optional
@@ -168,46 +167,6 @@ def build_relational_system(
     )
     system.interpreter.run_one("create rep : catalog(ident, ident)")
     return system
-
-
-# ---------------------------------------------------------------------------
-# Deprecated factory shims (use `repro.api.connect` instead)
-# ---------------------------------------------------------------------------
-
-_WARNED: set[str] = set()
-
-
-def _warn_deprecated(old: str, new: str) -> None:
-    """Emit the deprecation warning for ``old`` exactly once per process."""
-    if old in _WARNED:
-        return
-    _WARNED.add(old)
-    warnings.warn(
-        f"{old}() is deprecated; use {new} instead",
-        DeprecationWarning,
-        stacklevel=3,
-    )
-
-
-def make_relational_database() -> Database:
-    """Deprecated alias of :func:`build_relational_database`; prefer
-    ``repro.api.connect().database``."""
-    _warn_deprecated("make_relational_database", "repro.api.connect")
-    return build_relational_database()
-
-
-def make_model_interpreter() -> Interpreter:
-    """Deprecated alias of :func:`build_model_interpreter`; prefer
-    ``repro.api.connect(optimize=False)``."""
-    _warn_deprecated("make_model_interpreter", "repro.api.connect(optimize=False)")
-    return build_model_interpreter()
-
-
-def make_relational_system(optimizer: Optional[Optimizer] = None) -> "SOSSystem":
-    """Deprecated alias of :func:`build_relational_system`; prefer
-    ``repro.api.connect()``."""
-    _warn_deprecated("make_relational_system", "repro.api.connect")
-    return build_relational_system(optimizer)
 
 
 class SOSSystem:

@@ -8,6 +8,7 @@ or an interactive session.
 
 from repro.testing.faults import (
     FAULT_SITES,
+    MVCC_FAULT_SITES,
     WAL_FAULT_SITES,
     FaultPlan,
     InjectedFault,
@@ -21,6 +22,7 @@ from repro.testing.state import database_fingerprint, value_fingerprint
 
 __all__ = [
     "FAULT_SITES",
+    "MVCC_FAULT_SITES",
     "WAL_FAULT_SITES",
     "FaultPlan",
     "InjectedFault",

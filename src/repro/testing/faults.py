@@ -43,6 +43,15 @@ site                      fires on
 ``wal.checkpoint.swap``   on both sides of the atomic checkpoint rename
 ``recovery.replay``       before each committed WAL statement replayed
                           during recovery
+``mvcc.commit``           at MVCC transaction commit, after the
+                          first-committer-wins check but before anything
+                          is published or logged
+``mvcc.publish``          after the write set is published to the shared
+                          committed store, before its WAL records are
+                          written (a crash here loses the transaction)
+``server.ack``            in the socket server, before the success
+                          response for an executed statement is written
+                          to the client
 ========================  ====================================================
 
 When an armed site fires while metric collection is on, the
@@ -84,7 +93,17 @@ FAULT_SITES: tuple[str, ...] = (
     "wal.checkpoint.write",
     "wal.checkpoint.swap",
     "recovery.replay",
+    "mvcc.commit",
+    "mvcc.publish",
+    "server.ack",
 )
+
+MVCC_FAULT_SITES: tuple[str, ...] = (
+    "mvcc.commit",
+    "mvcc.publish",
+    "server.ack",
+)
+"""The multi-session server sites — the server crash matrix iterates these."""
 
 WAL_FAULT_SITES: tuple[str, ...] = (
     "wal.append",

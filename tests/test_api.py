@@ -1,13 +1,25 @@
-"""The public facade: ``repro.api.connect`` and the unified result shape."""
+"""The public facade: ``repro.api.connect``, DSNs, and the unified result
+shape — run against BOTH session variants.
+
+The ``db`` fixture is parametrized over ``local`` (in-process
+:class:`LocalSession`) and ``network`` (a :class:`NetworkSession` to a
+shared in-process server) — every test taking ``db`` asserts the same
+behavior through both transports with one body.  Local-only machinery
+(custom optimizers, tracer identity, the model-level interpreter,
+restore) is tested separately below.
+"""
 
 from __future__ import annotations
 
-import warnings
-
 import pytest
 
-from repro.api import Session, connect
-from repro.errors import CatalogError
+from repro.api import LocalSession, Session, connect
+from repro.errors import (
+    CatalogError,
+    ParseError,
+    ProtocolError,
+    StatementError,
+)
 from repro.observe import Tracer
 from repro.system import SystemResult
 
@@ -21,16 +33,194 @@ update cities := insert(cities, mktuple[<(cname, "bb"), (center, pt(2, 2)), (pop
 """
 
 
-class TestConnect:
-    def test_relational_session(self):
-        db = connect()
+@pytest.fixture(scope="module")
+def server_handle():
+    from repro.server import start_server
+
+    handle = start_server(allow_reset=True)
+    yield handle
+    handle.stop()
+
+
+@pytest.fixture(params=["local", "network"])
+def db(request):
+    """One session, both transports — the parity fixture."""
+    if request.param == "local":
+        session = connect()
+        yield session
+    else:
+        handle = request.getfixturevalue("server_handle")
+        session = connect(handle.address)
+        session._client.request("reset")  # fresh database per test
+        yield session
+        session.disconnect()
+
+
+class TestSessionParity:
+    """Identical surface and semantics through both transports."""
+
+    def test_is_a_session(self, db):
         assert isinstance(db, Session)
-        assert "rep" in db.database.objects  # catalog pre-created
+
+    def test_schema_and_query(self, db):
         db.run(SCHEMA)
         result = db.query("cities select[pop > 100000]")
         assert isinstance(result, SystemResult)
         assert [t.attr("cname") for t in result.value] == ["bb"]
 
+    def test_result_shapes_agree(self, db):
+        results = db.run(SCHEMA)
+        assert all(isinstance(r, SystemResult) for r in results)
+        one = db.run_one("query cities_rep feed count")
+        via_query = db.query("cities_rep feed count")
+        assert isinstance(one, SystemResult)
+        assert isinstance(via_query, SystemResult)
+        assert one.value == via_query.value == 2
+
+    def test_every_result_carries_timings(self, db):
+        for result in db.run(SCHEMA):
+            assert result.timings["total"] >= 0.0
+            assert "parse" in result.timings
+        model_fired = db.query("cities select[pop > 0]")
+        assert set(model_fired.timings) >= {
+            "parse", "typecheck", "optimize", "execute", "total",
+        }
+
+    def test_metrics_off_by_default(self, db):
+        db.run(SCHEMA)
+        result = db.query("cities_rep feed count")
+        assert result.metrics is None and result.rule_trace is None
+
+    def test_set_tracing_collects_metrics(self, db):
+        db.set_tracing(True)
+        assert db.tracing
+        db.run(SCHEMA)
+        result = db.query("cities_rep feed count")
+        assert result.metrics is not None
+        assert result.metrics.tuples_out("feed") == 2
+        assert result.rule_trace is not None
+
+    def test_translated_statement_reported(self, db):
+        db.run(SCHEMA)
+        result = db.query("cities select[pop > 100000]")
+        assert result.translated
+        assert "select_gt_btree_range" in result.fired
+        assert result.generated_statement().startswith("query ")
+
+    def test_explain_passthrough(self, db):
+        db.run(SCHEMA)
+        info = db.explain("cities select[pop > 100000]")
+        assert info["translated"] is True
+        assert info["fired"] == ["select_gt_btree_range"]
+
+    def test_explain_analyze(self, db):
+        db.run(SCHEMA)
+        info = db.explain("cities select[pop > 100000]", analyze=True)
+        assert info["analyzed"] is True
+        assert info["rows"] == 1
+        assert info["metrics"]["operators"]
+
+    def test_lint_reports(self, db):
+        report = db.lint()
+        assert report.ok
+        assert report.render_text()
+
+    def test_dump(self, db):
+        db.run(SCHEMA)
+        text = db.dump()
+        assert "create cities : rel(city)" in text
+
+    def test_analyze_shorthand(self, db):
+        db.run(SCHEMA)
+        result = db.analyze("cities_rep")
+        assert result.kind == "analyze"
+        assert "cities_rep" in result.value
+
+    def test_statement_errors_carry_index_and_phase(self, db):
+        with pytest.raises(CatalogError) as info:
+            db.run("type t = tuple(<(a, int)>)\nupdate ghost := 1")
+        assert isinstance(info.value, StatementError)
+        assert info.value.index == 1
+        assert info.value.phase in ("typecheck", "execute")
+        assert info.value.snippet() is not None
+
+    def test_parse_errors_same_class(self, db):
+        with pytest.raises(ParseError):
+            db.run_one("query 1 +")
+
+    def test_close_is_idempotent(self, db):
+        db.run(SCHEMA)
+        db.close()
+        db.close()
+        assert db.closed
+
+    def test_closed_session_queries_ok_mutations_raise(self, db):
+        db.run(SCHEMA)
+        db.close()
+        assert db.query("cities_rep feed count").value == 2
+        with pytest.raises(CatalogError, match="closed"):
+            db.run_one(
+                'update cities := insert(cities,'
+                ' mktuple[<(cname, "x"), (center, pt(3, 3)), (pop, 1)>])'
+            )
+
+    def test_context_manager_closes(self, db):
+        with db as handle:
+            assert handle is db
+            handle.run(SCHEMA)
+        assert db.closed
+
+
+class TestDSN:
+    def test_default_is_relational(self):
+        db = connect()
+        assert isinstance(db, LocalSession)
+        assert "rep" in db.database.objects  # catalog pre-created
+
+    def test_legacy_model_names_positional(self):
+        assert connect("relational").system is not None
+        model = connect("model")
+        with pytest.raises(CatalogError):
+            model.system  # no optimizer system behind it
+
+    def test_file_dsn_is_data_dir_sugar(self, tmp_path):
+        path = str(tmp_path / "db")
+        with connect(f"file:{path}") as db:
+            db.run_one("type t = tuple(<(a, int)>)")
+            assert db.durable
+            assert db.durability.data_dir == path
+        with connect(data_dir=path) as again:
+            assert "t" in again.dump()
+
+    def test_file_dsn_conflicting_data_dir_rejected(self, tmp_path):
+        with pytest.raises(CatalogError, match="conflicting"):
+            connect(f"file:{tmp_path}/a", data_dir=f"{tmp_path}/b")
+
+    def test_unknown_dsn_rejected(self):
+        with pytest.raises(CatalogError):
+            connect("hierarchical")
+        with pytest.raises(CatalogError):
+            connect("file:")
+
+    def test_network_dsn_rejects_local_only_options(self):
+        from repro.optimizer import standard_optimizer
+
+        with pytest.raises(CatalogError, match="network"):
+            connect("repro://localhost", optimizer=standard_optimizer())
+        with pytest.raises(CatalogError, match="network"):
+            connect("repro://localhost", data_dir="/tmp/nope")
+
+    def test_unreachable_server_raises_protocol_error(self):
+        with pytest.raises(ProtocolError):
+            connect("repro://127.0.0.1:1")  # port 1: nothing listens
+
+    def test_network_session_repr(self, server_handle):
+        db = connect(server_handle.address)
+        assert "repro://" in repr(db)
+        db.disconnect()
+
+
+class TestLocalOnly:
     def test_model_session(self):
         db = connect(model="model")
         db.run("type t = tuple(<(a, int)>)\ncreate r : rel(t)")
@@ -40,17 +230,18 @@ class TestConnect:
         assert result.level == "model"
         assert len(result.value.rows) == 1
 
-    def test_unknown_model_rejected(self):
-        with pytest.raises(CatalogError):
-            connect(model="hierarchical")
+    def test_model_shapes_agree(self):
+        db = connect(model="model")
+        results = db.run("type t = tuple(<(a, int)>)\ncreate r : rel(t)")
+        assert all(isinstance(r, SystemResult) for r in results)
+        assert results[0].kind == "type"
+        assert results[1].level == "model"
 
     def test_model_session_takes_no_optimizer(self):
         from repro.optimizer import standard_optimizer
 
         with pytest.raises(CatalogError):
             connect(model="model", optimizer=standard_optimizer())
-        with pytest.raises(CatalogError):
-            connect(model="model").system  # no optimizer system behind it
 
     def test_custom_optimizer(self):
         from repro.optimizer import standard_optimizer
@@ -58,14 +249,6 @@ class TestConnect:
         opt = standard_optimizer()
         db = connect(optimizer=opt)
         assert db.system.optimizer is opt
-
-    def test_trace_true_enables_collection(self):
-        db = connect(trace=True)
-        assert db.tracing
-        db.run(SCHEMA)
-        result = db.query("cities_rep feed count")
-        assert result.metrics is not None
-        assert result.metrics.tuples_out("feed") == 2
 
     def test_trace_callable_subscribes(self):
         events = []
@@ -80,45 +263,6 @@ class TestConnect:
         assert db.tracer is tracer
         assert db.system.tracer is tracer
 
-
-class TestResultShapeUnification:
-    """run, run_one and query all speak SystemResult."""
-
-    def test_relational_shapes_agree(self):
-        db = connect()
-        results = db.run(SCHEMA)
-        assert all(isinstance(r, SystemResult) for r in results)
-        one = db.run_one("query cities_rep feed count")
-        via_query = db.query("cities_rep feed count")
-        assert isinstance(one, SystemResult)
-        assert isinstance(via_query, SystemResult)
-        assert one.value == via_query.value == 2
-
-    def test_model_shapes_agree(self):
-        db = connect(model="model")
-        results = db.run("type t = tuple(<(a, int)>)\ncreate r : rel(t)")
-        assert all(isinstance(r, SystemResult) for r in results)
-        assert results[0].kind == "type"
-        assert results[1].level == "model"
-
-    def test_every_result_carries_timings(self):
-        db = connect()
-        for result in db.run(SCHEMA):
-            assert result.timings["total"] >= 0.0
-            assert "parse" in result.timings
-        model_fired = db.query("cities select[pop > 0]")
-        assert set(model_fired.timings) >= {
-            "parse", "typecheck", "optimize", "execute", "total",
-        }
-
-    def test_metrics_off_by_default(self):
-        db = connect()
-        db.run(SCHEMA)
-        result = db.query("cities_rep feed count")
-        assert result.metrics is None and result.rule_trace is None
-
-
-class TestSessionSurface:
     def test_dump_restore_round_trip(self):
         db = connect()
         db.run(SCHEMA)
@@ -127,54 +271,15 @@ class TestSessionSurface:
         clone.restore(text)
         assert clone.query("cities_rep feed count").value == 2
 
-    def test_explain_passthrough(self):
-        db = connect()
-        db.run(SCHEMA)
-        info = db.explain("cities select[pop > 100000]")
-        assert info["translated"] is True
-        assert info["fired"] == ["select_gt_btree_range"]
-
     def test_repr(self):
         assert "relational" in repr(connect())
         assert "model" in repr(connect(model="model"))
 
-
-class TestDeprecatedShims:
-    def test_old_factories_warn_once(self):
-        from repro.system import sos_system
-
-        for name in (
-            "make_relational_system",
-            "make_model_interpreter",
-            "make_relational_database",
-        ):
-            factory = getattr(sos_system, name)
-            sos_system._WARNED.discard(name)
-            with warnings.catch_warnings(record=True) as caught:
-                warnings.simplefilter("always")
-                factory()
-                factory()
-            deprecations = [
-                w for w in caught if issubclass(w.category, DeprecationWarning)
-            ]
-            assert len(deprecations) == 1, name
-            assert "deprecated" in str(deprecations[0].message)
-            assert "repro.api.connect" in str(deprecations[0].message)
-
-    def test_old_factories_still_work(self):
-        from repro.system import make_relational_system
-
-        with warnings.catch_warnings():
-            warnings.simplefilter("ignore")
-            system = make_relational_system()
-        system.run("type t = tuple(<(a, int)>)")
-        assert "t" in system.database.aliases
-
-    def test_facade_emits_no_deprecation_warnings(self):
-        with warnings.catch_warnings():
-            warnings.simplefilter("error", DeprecationWarning)
-            db = connect()
-            db.run(SCHEMA)
-            db.query("cities_rep feed count")
-            db.explain("cities select[pop > 0]", analyze=True)
-            connect(model="model").run("type t = tuple(<(a, int)>)")
+    def test_closed_model_session_contract(self):
+        db = connect(model="model")
+        db.run("type t = tuple(<(a, int)>)\ncreate r : rel(t)")
+        db.run_one("update r := insert(r, mktuple[<(a, 7)>])")
+        db.close()
+        assert db.query("r select[a > 0]").value.rows
+        with pytest.raises(CatalogError, match="closed"):
+            db.run_one("update r := insert(r, mktuple[<(a, 8)>])")

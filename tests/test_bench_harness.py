@@ -48,7 +48,13 @@ class TestCompareGate:
         base = _doc({"analyzed_picks_index": 1})
         bad = _doc({"analyzed_picks_index": 0})
         failures = compare.compare(base, bad)
-        assert failures and "plan choice regressed" in failures[0]
+        assert failures and "flag regressed" in failures[0]
+
+    def test_ok_flag_may_not_drop(self):
+        base = _doc({"eight_beats_one_ok": 1})
+        bad = _doc({"eight_beats_one_ok": 0})
+        failures = compare.compare(base, bad)
+        assert failures and "flag regressed" in failures[0]
 
     def test_missing_benchmark_or_counter_fails(self):
         base = _doc({"rows": 5})

@@ -35,6 +35,21 @@ appends — begin, stmt, commit — and one fsync):
     the crash happens *during recovery*; a second recovery attempt must
     still land on the committed state (recovery is idempotent because it
     never writes to the log it replays).
+
+The multi-session sites (``MVCC_FAULT_SITES``) extend the matrix to the
+server stack:
+
+``mvcc.commit``
+    the process dies after the first-committer-wins check, before the
+    transaction is published or logged → the transaction is lost.
+``mvcc.publish``
+    the process dies after the in-memory publish but before any WAL
+    record is appended — the acknowledgement was never sent → the
+    transaction is lost on recovery.
+``server.ack``
+    the connection dies after the commit is synced but before the client
+    hears about it → the statement survives recovery (acknowledged ⇒
+    durable holds; the converse needn't).
 """
 
 import os
@@ -198,3 +213,75 @@ def test_crash_during_recovery_then_recover_again(tmp_path, at):
     recovered = open_db(tmp_path)
     assert recovered.durability.replayed_statements == len(SETUP)
     assert recovered.dump() == expected_dump(SETUP)
+
+
+# --------------------------------------------------------------------------
+# mvcc.* — crashing inside the multi-session commit protocol
+# --------------------------------------------------------------------------
+
+
+def prepared_engine(tmp_path):
+    from repro.server import MVCCEngine
+
+    engine = MVCCEngine(data_dir=str(tmp_path / "db"), checkpoint_interval=0)
+    session = engine.session()
+    for text in SETUP:
+        session.run_one(text)
+    return engine, session
+
+
+@pytest.mark.parametrize(
+    "site",
+    ["mvcc.commit", "mvcc.publish"],
+    ids=["before-publish", "before-wal"],
+)
+def test_crash_mid_mvcc_commit_loses_the_transaction(tmp_path, site):
+    engine, session = prepared_engine(tmp_path)
+    session.begin()
+    session.run_one(VICTIM)
+    with inject(site) as plan:
+        with pytest.raises(InjectedFault):
+            session.commit()
+        assert plan.triggered
+    # crash: abandon the engine (no close, which would flush) and reboot.
+    # Neither site reaches the WAL, so the victim is lost either way —
+    # mvcc.publish made it visible in the dying process's memory only.
+    recovered = open_db(tmp_path)
+    assert recovered.dump() == expected_dump(SETUP)
+    # the log is still appendable after the reboot
+    recovered.run_one(VICTIM2)
+    again = open_db(tmp_path)
+    assert again.dump() == expected_dump(SETUP + [VICTIM2])
+
+
+def test_committed_mvcc_transaction_survives_reboot(tmp_path):
+    engine, session = prepared_engine(tmp_path)
+    session.begin()
+    session.run_one(VICTIM)
+    session.commit()
+    recovered = open_db(tmp_path)  # abandon the engine without close()
+    assert recovered.dump() == expected_dump(SETUP + [VICTIM])
+
+
+# --------------------------------------------------------------------------
+# server.ack — the connection dies between durable commit and the reply
+# --------------------------------------------------------------------------
+
+
+def test_crash_at_ack_keeps_the_acknowledged_prefix(tmp_path):
+    from repro.errors import ProtocolError
+    from repro.server import start_server
+
+    data_dir = str(tmp_path / "db")
+    with start_server(data_dir=data_dir, group_commit=1) as handle:
+        db = connect(handle.address)
+        for text in SETUP:
+            db.run_one(text)
+        with inject("server.ack") as plan:
+            with pytest.raises(ProtocolError):
+                db.run_one(VICTIM)
+            assert plan.triggered
+    # the server synced the commit before dropping the connection: the
+    # unacknowledged statement is durable
+    recovered = connect(data_dir=data_dir)
+    assert recovered.dump() == expected_dump(SETUP + [VICTIM])

@@ -14,6 +14,7 @@ from repro.system import build_relational_system
 from repro.system.transactions import statement_transaction
 from repro.testing import (
     FAULT_SITES,
+    MVCC_FAULT_SITES,
     WAL_FAULT_SITES,
     FaultPlan,
     InjectedFault,
@@ -146,12 +147,18 @@ PROBES = {
 
 
 def test_every_registered_site_has_a_probe():
-    # The durability-layer sites need a durable session to fire; their
-    # crash matrix lives in tests/test_crash_matrix.py.
-    assert set(PROBES) == set(FAULT_SITES) - set(WAL_FAULT_SITES)
+    # The durability-layer and multi-session sites need a durable session
+    # or a server to fire; their crash matrices live in
+    # tests/test_crash_matrix.py (and tests/test_server.py for the ack).
+    assert set(PROBES) == (
+        set(FAULT_SITES) - set(WAL_FAULT_SITES) - set(MVCC_FAULT_SITES)
+    )
 
 
-@pytest.mark.parametrize("site", sorted(set(FAULT_SITES) - set(WAL_FAULT_SITES)))
+@pytest.mark.parametrize(
+    "site",
+    sorted(set(FAULT_SITES) - set(WAL_FAULT_SITES) - set(MVCC_FAULT_SITES)),
+)
 def test_crash_consistency_at_every_site(session, site):
     at, probe = PROBES[site]
     before = database_fingerprint(session.database)

@@ -1,0 +1,239 @@
+"""The socket server: conflicts over the wire, disconnect handling, error
+taxonomy parity, crash-at-ack durability, and cross-client group commit.
+
+Servers run in-process on a background thread (``start_server``), so the
+fault-injection registry in :mod:`repro.testing.faults` reaches the
+server-side fault points directly.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+
+import pytest
+
+from repro.api import connect
+from repro.errors import (
+    CatalogError,
+    ConflictError,
+    ParseError,
+    ProtocolError,
+    StatementError,
+)
+from repro.server import start_server
+from repro.testing import inject
+
+SCHEMA = """
+type city = tuple(<(cname, string), (pop, int)>)
+create cities : rel(city)
+create cities_rep : btree(city, pop, int)
+update rep := insert(rep, cities, cities_rep)
+"""
+
+INSERT = 'update cities := insert(cities, mktuple[<(cname, "{name}"), (pop, {pop})>])'
+
+
+def count(session):
+    return session.query("cities_rep feed count").value
+
+
+def wal_bytes(data_dir):
+    return sum(
+        os.path.getsize(os.path.join(data_dir, name))
+        for name in os.listdir(data_dir)
+        if name.startswith("wal")
+    )
+
+
+def wait_for(predicate, timeout=5.0):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(0.02)
+    return False
+
+
+@pytest.fixture
+def server():
+    with start_server() as handle:
+        yield handle
+
+
+@pytest.fixture
+def durable_server(tmp_path):
+    with start_server(data_dir=str(tmp_path)) as handle:
+        yield handle, str(tmp_path)
+
+
+class TestConflictsOverTheWire:
+    def test_first_committer_wins(self, server):
+        first = connect(server.address)
+        second = connect(server.address)
+        first.run(SCHEMA)
+        first.begin()
+        second.begin()
+        first.run_one(INSERT.format(name="aa", pop=1))
+        second.run_one(INSERT.format(name="bb", pop=2))
+        first.commit()
+        with pytest.raises(ConflictError) as info:
+            second.commit()
+        assert info.value.retryable
+        assert "cities" in info.value.names
+        # retry on a fresh snapshot succeeds
+        second.begin()
+        second.run_one(INSERT.format(name="bb", pop=2))
+        second.commit()
+        assert count(first) == 2
+        assert first.ping()["metrics"]["mvcc.conflicts"] == 1
+        first.disconnect()
+        second.disconnect()
+
+    def test_snapshot_isolation_between_clients(self, server):
+        writer = connect(server.address)
+        reader = connect(server.address)
+        writer.run(SCHEMA)
+        writer.begin()
+        writer.run_one(INSERT.format(name="aa", pop=1))
+        assert count(writer) == 1
+        assert count(reader) == 0
+        writer.commit()
+        assert count(reader) == 1
+        writer.disconnect()
+        reader.disconnect()
+
+
+class TestDisconnect:
+    def test_disconnect_mid_transaction_rolls_back(self, durable_server):
+        handle, data_dir = durable_server
+        setup = connect(handle.address)
+        setup.run(SCHEMA)
+        baseline = wal_bytes(data_dir)
+
+        doomed = connect(handle.address)
+        doomed.begin()
+        doomed.run_one(INSERT.format(name="aa", pop=1))
+        doomed.disconnect()  # vanish mid-transaction
+
+        engine = handle.server.engine
+        assert wait_for(lambda: engine.metrics["mvcc.rollbacks"] >= 1)
+        assert count(setup) == 0
+        assert wal_bytes(data_dir) == baseline  # zero WAL residue
+        setup.disconnect()
+
+    def test_operations_after_disconnect_raise_protocol_error(self, server):
+        db = connect(server.address)
+        db.disconnect()
+        with pytest.raises(ProtocolError):
+            db.run_one("query 1 + 1")
+
+    def test_server_stop_surfaces_as_protocol_error(self):
+        handle = start_server()
+        db = connect(handle.address)
+        assert db.run_one("query 1 + 1").value == 2
+        handle.stop()
+        with pytest.raises(ProtocolError):
+            db.query("1 + 1")
+
+
+class TestErrorTaxonomy:
+    def test_parse_error_keeps_position(self, server):
+        db = connect(server.address)
+        with pytest.raises(ParseError) as info:
+            db.run_one("query 1 +")
+        assert isinstance(info.value, StatementError)
+        assert info.value.phase == "parse"
+        # the original ParseError (with its position) is rebuilt as the cause
+        assert isinstance(info.value.__cause__, ParseError)
+        assert info.value.__cause__.line == 1
+        assert info.value.__cause__.column == 10
+        db.disconnect()
+
+    def test_statement_error_keeps_index_and_source(self, server):
+        db = connect(server.address)
+        with pytest.raises(CatalogError) as info:
+            db.run("type t = tuple(<(a, int)>)\nupdate ghost := 1")
+        assert info.value.index == 1
+        assert "ghost" in info.value.source
+        db.disconnect()
+
+    def test_closed_session_contract_over_wire(self, server):
+        db = connect(server.address)
+        db.run(SCHEMA)
+        db.run_one(INSERT.format(name="aa", pop=1))
+        db.close()
+        db.close()  # idempotent — the connection survives
+        assert db.closed
+        assert count(db) == 1
+        with pytest.raises(CatalogError, match="closed"):
+            db.run_one(INSERT.format(name="bb", pop=2))
+        db.disconnect()
+
+
+class TestCrashAtAck:
+    def test_commit_survives_dropped_ack(self, durable_server):
+        handle, data_dir = durable_server
+        db = connect(handle.address)
+        db.run(SCHEMA)
+        with inject("server.ack") as plan:
+            with pytest.raises(ProtocolError):
+                db.run_one(INSERT.format(name="aa", pop=1))
+            assert plan.triggered
+        # the connection died but the statement was synced before the ack:
+        # a fresh client sees it, and so does recovery from disk.
+        fresh = connect(handle.address)
+        assert count(fresh) == 1
+        fresh.disconnect()
+        handle.stop()
+        with connect(data_dir=data_dir) as recovered:
+            assert count(recovered) == 1
+
+
+class TestGroupCommit:
+    def test_concurrent_clients_all_durable(self, durable_server):
+        handle, data_dir = durable_server
+        setup = connect(handle.address)
+        setup.run(SCHEMA)
+
+        errors = []
+
+        def client(n):
+            # all eight write the same relation, so losers of the
+            # first-committer-wins race retry — the documented pattern
+            try:
+                db = connect(handle.address)
+                while True:
+                    try:
+                        db.run_one(INSERT.format(name=f"c{n}", pop=n + 1))
+                        break
+                    except ConflictError:
+                        continue
+                db.disconnect()
+            except Exception as exc:  # pragma: no cover - surfaced below
+                errors.append(exc)
+
+        threads = [threading.Thread(target=client, args=(n,)) for n in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        assert count(setup) == 8
+        setup.disconnect()
+        handle.stop()
+        with connect(data_dir=data_dir) as recovered:
+            assert count(recovered) == 8
+
+    def test_ping_reports_session_counters(self, server):
+        db = connect(server.address)
+        db.run(SCHEMA)
+        db.query("cities_rep feed count")
+        info = db.ping()
+        assert info["server"] == "repro"
+        assert info["durable"] is False
+        assert info["counters"]["queries"] >= 1
+        assert info["counters"]["statements"] >= 4
+        assert info["in_transaction"] is False
+        db.disconnect()
