@@ -39,30 +39,53 @@ def _regressed(baseline: float, current: float) -> bool:
     return (current - baseline) / baseline > THRESHOLD
 
 
+def _delta(baseline: float, current: float) -> str:
+    """``+30%``-style percentage delta, safe for zero baselines."""
+    if baseline <= 0:
+        return "+inf%" if current > 0 else "+0%"
+    return f"{(current - baseline) / baseline:+.0%}"
+
+
 def compare(
     baseline: dict, current: dict, check_time: bool = False
 ) -> list[str]:
-    """Every tracked-median regression, as human-readable failure lines."""
+    """Every tracked-median regression, as human-readable failure lines.
+
+    Each line names the offending metric *and* shows its baseline
+    vs. current value with the percentage delta, so a CI log is
+    actionable without re-running anything locally.
+    """
     failures: list[str] = []
     base_cal = baseline.get("meta", {}).get("calibration_ms") or 1.0
     cur_cal = current.get("meta", {}).get("calibration_ms") or 1.0
     for name, base in baseline.get("benchmarks", {}).items():
         cur = current.get("benchmarks", {}).get(name)
         if cur is None:
-            failures.append(f"{name}: missing from current run")
+            tracked = ", ".join(
+                f"{key}={bval}"
+                for key, bval in sorted(base.get("counters", {}).items())
+            )
+            failures.append(
+                f"{name}: missing from current run"
+                + (f" (baseline counters: {tracked})" if tracked else "")
+            )
             continue
         for key, bval in sorted(base.get("counters", {}).items()):
             cval = cur.get("counters", {}).get(key)
             if cval is None:
-                failures.append(f"{name}.{key}: counter disappeared")
+                failures.append(
+                    f"{name}.{key}: counter disappeared "
+                    f"(baseline {bval}, current missing)"
+                )
             elif cval < bval and key.endswith(("_picks_index", "_ok")):
                 failures.append(
-                    f"{name}.{key}: flag regressed {bval} -> {cval}"
+                    f"{name}.{key}: flag regressed {bval} -> {cval} "
+                    f"({_delta(bval, cval)})"
                 )
             elif _regressed(bval, cval):
                 failures.append(
                     f"{name}.{key}: {bval} -> {cval} "
-                    f"(+{(cval - bval) / max(bval, 1):.0%}, limit 20%)"
+                    f"({_delta(bval, cval)}, limit +20%)"
                 )
         if check_time:
             bnorm = base["median_ms"] / base_cal
@@ -70,7 +93,7 @@ def compare(
             if _regressed(bnorm, cnorm):
                 failures.append(
                     f"{name}.median_ms: {bnorm:.4f} -> {cnorm:.4f} "
-                    f"calibration units (limit 20%)"
+                    f"calibration units ({_delta(bnorm, cnorm)}, limit +20%)"
                 )
     return failures
 

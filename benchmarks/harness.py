@@ -390,6 +390,19 @@ def _conflict_count(address: str) -> int:
         db.disconnect()
 
 
+def _server_counters(address: str) -> dict:
+    """The server's telemetry-registry counters (``metrics`` wire op).
+    The registry is process-wide, so callers diff two snapshots rather
+    than reading absolutes."""
+    from repro.api import connect
+
+    db = connect(address)
+    try:
+        return db.server_metrics()["counters"]
+    finally:
+        db.disconnect()
+
+
 def _bench_server_clients(smoke: bool, n_clients: int) -> dict:
     per_client = {1: (12, 60), 8: (6, 30), 64: (1, 4)}[n_clients][0 if smoke else 1]
     rounds = 3 if smoke else 5
@@ -397,22 +410,42 @@ def _bench_server_clients(smoke: bool, n_clients: int) -> dict:
         handle = _start_bench_server(tmp)
         try:
             _server_schema(handle.address, n_clients)
+            before = _server_counters(handle.address)
             elapsed = [
                 _server_round(handle.address, n_clients, per_client, r * per_client)
                 for r in range(rounds)
             ]
+            after = _server_counters(handle.address)
             conflicts = _conflict_count(handle.address)
         finally:
             handle.stop()
+    batches = after.get("group_commit.batches", 0) - before.get(
+        "group_commit.batches", 0
+    )
+    synced = after.get("group_commit.synced", 0) - before.get(
+        "group_commit.synced", 0
+    )
+    mean_batch = round(synced / batches, 2) if batches else 0.0
+    total_commits = n_clients * per_client * rounds
     entry = _summarize([e * 1000.0 for e in elapsed])
     entry["counters"] = {
         "clients": n_clients,
         "statements": n_clients * per_client,
         "conflicts": conflicts,
+        # Disjoint relations: any conflict at all is a regression (the
+        # gate fails on growth from a zero baseline).
+        "conflict_rate_pct": round(100.0 * conflicts / total_commits, 1),
     }
     entry["info"] = {
-        "stmts_per_sec": round(n_clients * per_client / min(elapsed), 1)
+        "stmts_per_sec": round(n_clients * per_client / min(elapsed), 1),
+        "mean_batch_size": mean_batch,
     }
+    if n_clients == 1:
+        # A lone client can never share a batch, so the mean batch size
+        # is exactly 1.0 — deterministic, hence gated as a counter.  At
+        # 8/64 clients batch composition is timing-dependent and stays
+        # informational.
+        entry["counters"]["mean_batch_size"] = mean_batch
     return entry
 
 

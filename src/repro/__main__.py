@@ -15,6 +15,8 @@ Usage::
     python -m repro lint --strict        # exit nonzero on error diagnostics
     python -m repro lint --json F.sos    # lint spec files, JSON report
     python -m repro serve --data-dir DIR # multi-session server (MVCC + group commit)
+    python -m repro serve --metrics-port P --slow-query-ms MS  # telemetry endpoints
+    python -m repro top repro://H:P      # live terminal monitor over a server
 
 The REPL accepts the six statement forms; a statement ends at the end of a
 line unless continued by indentation on the following lines (same rule as
@@ -417,7 +419,8 @@ def run_lint(argv: list[str]) -> int:
 
 def run_serve(argv: list[str]) -> int:
     """``python -m repro serve --data-dir DIR [--host H] [--port P]
-    [--group-commit N] [--checkpoint-interval N]``.
+    [--group-commit N] [--checkpoint-interval N] [--metrics-port P]
+    [--slow-query-ms MS] [--slow-query-log FILE]``.
 
     Serves one durable database to any number of concurrent client
     sessions (``connect("repro://host:port")``) with snapshot isolation,
@@ -425,6 +428,10 @@ def run_serve(argv: list[str]) -> int:
     ``--data-dir`` may be omitted for a shared in-memory database (gone
     when the server exits).  ``--group-commit`` defaults to 8 here —
     batching fsyncs across clients is the point of a server.
+    ``--metrics-port`` additionally serves the process-wide telemetry
+    registry as a Prometheus text exposition page on the same loop;
+    ``--slow-query-ms`` arms the slow-query log (JSON lines to
+    ``--slow-query-log``, or kept in memory for the ``metrics`` op).
     """
     data_dir, argv, ok = _take_option(argv, "--data-dir")
     if not ok:
@@ -441,13 +448,27 @@ def run_serve(argv: list[str]) -> int:
     raw_interval, argv, ok = _take_option(argv, "--checkpoint-interval")
     if not ok:
         return 2
+    raw_metrics_port, argv, ok = _take_option(argv, "--metrics-port")
+    if not ok:
+        return 2
+    raw_slow_ms, argv, ok = _take_option(argv, "--slow-query-ms")
+    if not ok:
+        return 2
+    slow_query_log, argv, ok = _take_option(argv, "--slow-query-log")
+    if not ok:
+        return 2
     try:
         port = int(raw_port) if raw_port is not None else None
         group_commit = int(raw_group) if raw_group is not None else 8
         interval = int(raw_interval) if raw_interval is not None else None
+        metrics_port = (
+            int(raw_metrics_port) if raw_metrics_port is not None else None
+        )
+        slow_query_ms = float(raw_slow_ms) if raw_slow_ms is not None else None
     except ValueError:
-        print("error: --port / --group-commit / --checkpoint-interval "
-              "need integers", file=sys.stderr)
+        print("error: --port / --group-commit / --checkpoint-interval / "
+              "--metrics-port need integers (--slow-query-ms a number)",
+              file=sys.stderr)
         return 2
     if argv:
         print(f"error: unknown serve argument(s): {', '.join(argv)}",
@@ -465,6 +486,9 @@ def run_serve(argv: list[str]) -> int:
                 data_dir=data_dir,
                 group_commit=group_commit,
                 checkpoint_interval=interval,
+                metrics_port=metrics_port,
+                slow_query_ms=slow_query_ms,
+                slow_query_log=slow_query_log,
             )
         )
     except KeyboardInterrupt:
@@ -478,11 +502,87 @@ def run_serve(argv: list[str]) -> int:
     return 0
 
 
+def run_top(argv: list[str]) -> int:
+    """``python -m repro top repro://host:port [--interval S]
+    [--count N] [--once]``.
+
+    A live terminal monitor over the server's telemetry registry: polls
+    the ``metrics`` wire op and renders sessions, transactions,
+    commit/conflict totals, WAL throughput, group-commit batching and
+    latency percentiles.  ``--once`` prints a single snapshot (no screen
+    clearing) — the scriptable form.
+    """
+    once = "--once" in argv
+    argv = [a for a in argv if a != "--once"]
+    raw_interval, argv, ok = _take_option(argv, "--interval")
+    if not ok:
+        return 2
+    raw_count, argv, ok = _take_option(argv, "--count")
+    if not ok:
+        return 2
+    try:
+        interval = float(raw_interval) if raw_interval is not None else 2.0
+        count = int(raw_count) if raw_count is not None else None
+    except ValueError:
+        print("error: --interval needs a number, --count an integer",
+              file=sys.stderr)
+        return 2
+    targets = [a for a in argv if not a.startswith("-")]
+    leftover = [a for a in argv if a.startswith("-")]
+    if leftover or len(targets) != 1:
+        print("usage: python -m repro top repro://host:port "
+              "[--interval S] [--count N] [--once]", file=sys.stderr)
+        return 2
+    if once:
+        count = 1
+    import time as _time
+
+    from repro import telemetry
+    from repro.api import connect
+    from repro.errors import ProtocolError
+
+    try:
+        db = connect(targets[0])
+    except SOSError as exc:
+        _print_error(exc, sys.stderr)
+        return 2
+    previous = None
+    ticks = 0
+    try:
+        while True:
+            try:
+                snapshot = db.server_metrics()
+            except ProtocolError as exc:
+                print(f"server went away: {exc}", file=sys.stderr)
+                return 1
+            screen = telemetry.render_top(
+                snapshot, previous, interval, address=targets[0]
+            )
+            if count != 1:
+                print("\x1b[2J\x1b[H", end="")  # clear, home
+            print(screen, end="", flush=True)
+            previous = snapshot
+            ticks += 1
+            if count is not None and ticks >= count:
+                return 0
+            _time.sleep(interval)
+    except KeyboardInterrupt:
+        print()
+        return 0
+    finally:
+        try:
+            db.disconnect()
+        except Exception:
+            pass
+
+
 def main(argv: list[str]) -> int:
     if argv and argv[0] == "lint":
         return run_lint(argv[1:])
     if argv and argv[0] == "serve":
         return run_serve(argv[1:])
+    if argv and argv[0] == "top":
+        return run_top(argv[1:])
     model_only = "--model" in argv
     trace = "--trace" in argv
     dump_to, argv, ok = _take_option(argv, "--dump")

@@ -93,6 +93,10 @@ def connect(
         subscribes to the session's event bus; a
         :class:`~repro.observe.Tracer` is used as the bus itself.
         ``None``/``False`` leaves observability off (the default).
+        On a ``repro://`` session the same forms apply, and a session
+        with subscribers also receives the *server's* phase spans,
+        replayed into its bus under the session's trace ID (one
+        cross-process timeline; see ``docs/OBSERVABILITY.md``).
     ``data_dir``
         sugar for a ``file:`` DSN: a directory for durable state
         (relational model only).  Opening recovers whatever the directory
@@ -130,6 +134,13 @@ def connect(
         from repro.server.client import NetworkSession
 
         session = NetworkSession.open(dsn)
+        if isinstance(trace, Tracer):
+            # Adopt the caller's bus, exactly like a local session: its
+            # subscribers see client statement spans with the server's
+            # phase spans stitched in.
+            session._tracer = trace
+        elif callable(trace):
+            session.subscribe(trace)
         if trace:
             session.set_tracing(True)
         return session

@@ -33,7 +33,11 @@ All file writes are accounted through :mod:`repro.storage.io`
 (``PageManager.log_write`` / ``PageManager.fsync``) and — when metric
 collection is armed — through the ``wal.appends`` / ``wal.bytes`` /
 ``wal.fsyncs`` observe counters, so durability shows up in the same
-benchmark and trace machinery as the storage structures.
+benchmark and trace machinery as the storage structures.  With the
+process-wide :mod:`repro.telemetry` registry enabled (a running server),
+the same sites additionally feed the ``wal.frames`` / ``wal.bytes`` /
+``wal.fsyncs`` lifetime counters and the ``wal.fsync_seconds`` latency
+histogram.
 """
 
 from __future__ import annotations
@@ -41,11 +45,12 @@ from __future__ import annotations
 import json
 import os
 import struct
+import time
 import zlib
 from dataclasses import dataclass
 from typing import Iterator, Optional
 
-from repro import observe
+from repro import observe, telemetry
 from repro.errors import SOSError
 from repro.storage.io import GLOBAL_PAGES, PageManager
 from repro.testing.faults import fault_point
@@ -166,15 +171,23 @@ class WriteAheadLog:
         if observe.ENABLED:
             observe.incr("wal.appends")
             observe.incr("wal.bytes", len(frame))
+        if telemetry.ENABLED:
+            telemetry.incr("wal.frames")
+            telemetry.incr("wal.bytes", len(frame))
 
     def sync(self) -> None:
         """Force appended records to stable storage (the commit fsync)."""
         fault_point("wal.fsync")
+        start = time.perf_counter()
         os.fsync(self._f.fileno())
+        elapsed = time.perf_counter() - start
         self.synced += 1
         self.pages.fsync()
         if observe.ENABLED:
             observe.incr("wal.fsyncs")
+        if telemetry.ENABLED:
+            telemetry.incr("wal.fsyncs")
+            telemetry.observe_value("wal.fsync_seconds", elapsed)
 
     # ------------------------------------------------------------------- read
 

@@ -58,7 +58,10 @@ class Event:
 
     ``kind`` is ``begin`` / ``end`` for spans (``value`` of an ``end`` event
     is the span duration in seconds) or ``counter`` for point events.
-    ``depth`` is the span-nesting depth at emission time.
+    ``depth`` is the span-nesting depth at emission time.  ``ts`` is
+    normally ``None`` (the event happened *now*); events replayed from
+    another process — server spans stitched into a client trace — carry
+    an explicit ``time.perf_counter()``-scale timestamp instead.
     """
 
     name: str
@@ -66,6 +69,7 @@ class Event:
     value: float = 0.0
     data: dict = field(default_factory=dict)
     depth: int = 0
+    ts: Optional[float] = None
 
 
 class Tracer:
@@ -102,7 +106,17 @@ class Tracer:
     ) -> None:
         if not self._subscribers:
             return
-        event = Event(name, kind, value, data, self._depth)
+        self.deliver(Event(name, kind, value, data, self._depth))
+
+    def deliver(self, event: Event) -> None:
+        """Dispatch a pre-built :class:`Event` to every subscriber.
+
+        :meth:`emit` builds and delivers; replay paths (network sessions
+        stitching server spans into the client trace) build events with
+        explicit depths/timestamps and deliver them directly.
+        """
+        if not self._subscribers:
+            return
         for fn in tuple(self._subscribers):
             try:
                 fn(event)
@@ -347,10 +361,11 @@ class ChromeTraceExporter:
 
     def __call__(self, event: Event) -> None:
         ph = {"begin": "B", "end": "E"}.get(event.kind, "i")
+        when = event.ts if event.ts is not None else time.perf_counter()
         record: dict = {
             "name": event.name,
             "ph": ph,
-            "ts": (time.perf_counter() - self._origin) * 1e6,
+            "ts": (when - self._origin) * 1e6,
             "pid": self.pid,
             "tid": self.tid,
         }
@@ -376,6 +391,42 @@ class ChromeTraceExporter:
 
     def __repr__(self) -> str:
         return f"<ChromeTraceExporter events={len(self.events)}>"
+
+
+class SpanRecorder:
+    """A :class:`Tracer` subscriber that captures events as JSON-able
+    dicts with timestamps relative to its creation.
+
+    The server subscribes one per traced request while it holds the
+    engine lock, so the recording contains exactly that statement's
+    events; the frames ship over the wire and the client replays them
+    into its own tracer (:class:`Event` with an explicit ``ts``) to
+    stitch one cross-process timeline.
+    """
+
+    __slots__ = ("events", "_origin")
+
+    def __init__(self) -> None:
+        self.events: list[dict] = []
+        self._origin = time.perf_counter()
+
+    def __call__(self, event: Event) -> None:
+        self.events.append(
+            {
+                "name": event.name,
+                "kind": event.kind,
+                "value": event.value,
+                "depth": event.depth,
+                "t": time.perf_counter() - self._origin,
+                "data": {k: _jsonable(v) for k, v in event.data.items()},
+            }
+        )
+
+    def elapsed(self) -> float:
+        return time.perf_counter() - self._origin
+
+    def __repr__(self) -> str:
+        return f"<SpanRecorder events={len(self.events)}>"
 
 
 def _jsonable(value):

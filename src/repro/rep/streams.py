@@ -162,11 +162,20 @@ def search_join_stream(out_tuple: Type, outer: Stream, inner_fn: Callable) -> St
 
     def gen():
         for t1 in outer:
-            if observe.ENABLED:
-                # One probe per outer tuple: how often the inner search
-                # method (scan, filter, or index probe) was invoked.
-                observe.incr("search_join.probes")
+            if not observe.ENABLED:
+                for t2 in inner_fn(t1):
+                    yield t1.concat(t2, out_tuple)
+                continue
+            # One probe per outer tuple: how often the inner search
+            # method (scan, filter, or index probe) was invoked — plus
+            # the distribution of rows each probe returned (fan-out
+            # skew is what distinguishes a good index probe from a
+            # degenerate one).
+            observe.incr("search_join.probes")
+            rows = 0
             for t2 in inner_fn(t1):
+                rows += 1
                 yield t1.concat(t2, out_tuple)
+            observe.record("search_join.probe_rows", rows)
 
     return Stream(out_tuple, gen())

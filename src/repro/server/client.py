@@ -17,10 +17,13 @@ from __future__ import annotations
 
 import json
 import socket
-from typing import Optional
+import time
+import uuid
+from typing import Callable, Optional
 
 from repro.api import Session
 from repro.errors import CatalogError, ProtocolError
+from repro.observe import Event, Tracer
 from repro.server.net import DEFAULT_PORT
 from repro.server.wire import (
     decode_error,
@@ -113,27 +116,103 @@ class NetworkSession(Session):
     :meth:`disconnect` drops the socket itself.
     """
 
-    __slots__ = ("_client", "_dsn", "_closed", "_tracing")
+    __slots__ = ("_client", "_dsn", "_closed", "_tracing", "_tracer", "_trace_id")
 
     def __init__(self, client: SocketClient, dsn: str):
         self._client = client
         self._dsn = dsn
         self._closed = False
         self._tracing = False
+        self._tracer = Tracer()
+        self._trace_id = uuid.uuid4().hex[:16]
 
     @classmethod
     def open(cls, dsn: str) -> "NetworkSession":
         host, port = parse_dsn(dsn)
         return cls(SocketClient(host, port), f"repro://{host}:{port}")
 
+    # --------------------------------------------------------------- tracing
+
+    @property
+    def tracer(self) -> Tracer:
+        """This session's event bus.  While anyone is subscribed, every
+        statement request carries the session's trace ID and the server
+        ships its phase spans back for replay — one timeline across the
+        wire (see ``docs/OBSERVABILITY.md``)."""
+        return self._tracer
+
+    def subscribe(self, fn: Callable[[Event], None]) -> Callable[[Event], None]:
+        """Shorthand for ``session.tracer.subscribe(fn)`` (the local
+        session has the same method)."""
+        return self._tracer.subscribe(fn)
+
+    @property
+    def trace_id(self) -> str:
+        return self._trace_id
+
+    def _replay_spans(self, frame, t0: float, elapsed: float) -> None:
+        """Deliver server-side span events into the local tracer.
+
+        The two processes share no clock; the server reports event times
+        relative to its own request handling (``t``) plus the total time
+        it held the request (``server_elapsed``).  Centering that window
+        inside the client-observed round trip splits the network cost
+        evenly, which keeps every server span strictly inside the client
+        statement span — the property the Chrome-trace nesting needs.
+        """
+        if not isinstance(frame, dict):
+            return
+        spans = frame.pop("server_spans", None)
+        server_elapsed = frame.pop("server_elapsed", None)
+        if not spans or not self._tracer.enabled:
+            return
+        if server_elapsed is None:
+            server_elapsed = max((s.get("t", 0.0) for s in spans), default=0.0)
+        base = t0 + max((elapsed - server_elapsed) / 2.0, 0.0)
+        depth0 = self._tracer._depth
+        for span in spans:
+            data = dict(span.get("data") or {})
+            data.setdefault("trace_id", self._trace_id)
+            data.setdefault("remote", True)
+            self._tracer.deliver(
+                Event(
+                    span.get("name", "?"),
+                    span.get("kind", "counter"),
+                    span.get("value", 0.0),
+                    data,
+                    depth0 + span.get("depth", 0),
+                    ts=base + span.get("t", 0.0),
+                )
+            )
+
+    def _traced_request(self, op: str, **args):
+        """One request wrapped in a client-side span, with the server's
+        spans replayed inside it.  Falls back to a plain request when
+        nobody subscribed."""
+        if not self._tracer.enabled:
+            return self._client.request(op, **args)
+        label = args.get("source", "")
+        t0 = time.perf_counter()
+        with self._tracer.span(
+            "statement",
+            trace_id=self._trace_id,
+            op=op,
+            source=label[:120],
+        ):
+            frame = self._client.request(op, trace=self._trace_id, **args)
+            self._replay_spans(frame, t0, time.perf_counter() - t0)
+        return frame
+
     # ------------------------------------------------------------ execution
 
     def run(self, source: str, atomic: bool = False) -> list[SystemResult]:
-        frames = self._client.request("run", source=source, atomic=atomic)
+        frames = self._traced_request("run", source=source, atomic=atomic)
+        if isinstance(frames, dict):  # trace-wrapped response
+            frames = frames["results"]
         return [decode_result(f) for f in frames]
 
     def run_one(self, source: str) -> SystemResult:
-        return decode_result(self._client.request("run_one", source=source))
+        return decode_result(self._traced_request("run_one", source=source))
 
     def explain(self, source: str, *, analyze: bool = False) -> dict:
         return decode_value(
@@ -151,7 +230,7 @@ class NetworkSession(Session):
         self._client.request("begin")
 
     def commit(self) -> None:
-        self._client.request("commit")
+        self._traced_request("commit")
 
     def rollback(self) -> None:
         self._client.request("rollback")
@@ -177,6 +256,14 @@ class NetworkSession(Session):
         """Server/session status: engine metrics (``mvcc.*``), this
         session's statement counters, and flags."""
         return self._client.request("ping")
+
+    def server_metrics(self) -> dict:
+        """The server's process-wide telemetry registry snapshot:
+        ``counters`` / ``gauges`` / ``histograms`` plus a ``server``
+        section (uptime, sessions, recent slow queries).  The same data
+        the ``--metrics-port`` exposition endpoint and ``python -m repro
+        top`` render."""
+        return self._client.request("metrics")
 
     # ------------------------------------------------------------- lifecycle
 

@@ -48,13 +48,15 @@ was verified under.
 from __future__ import annotations
 
 import threading
-from typing import Optional
+import time
+from contextlib import contextmanager
+from typing import Callable, Optional
 
-from repro import observe
+from repro import observe, telemetry
 from repro.catalog.database import DatabaseObject
 from repro.errors import CatalogError, ConflictError, SOSError, StatementError, wrap_statement_error
 from repro.lang.parser import split_statements
-from repro.observe import Tracer
+from repro.observe import Event, Tracer
 from repro.system.sos_system import SystemResult, build_relational_system
 from repro.system.transactions import clone_value
 from repro.testing.faults import fault_point
@@ -166,7 +168,9 @@ class MVCCEngine:
             "mvcc.commits": 0,
             "mvcc.conflicts": 0,
             "mvcc.rollbacks": 0,
+            "mvcc.privatizations": 0,
         }
+        self.open_transactions = 0
         self._lock = threading.RLock()
         self._saved = None
         self._sessions = 0
@@ -190,24 +194,59 @@ class MVCCEngine:
         with self._lock:
             txn = MVCCTransaction(self.database, self.commit_version)
             self._bump("mvcc.snapshots")
+            self.open_transactions += 1
+            if telemetry.ENABLED:
+                telemetry.gauge(
+                    "mvcc.open_transactions", self.open_transactions
+                )
             return txn
 
     def _bump(self, name: str) -> None:
         self.metrics[name] = self.metrics.get(name, 0) + 1
         if observe.ENABLED:
             observe.incr(name)
+        if telemetry.ENABLED:
+            telemetry.incr(name)
         self.tracer.emit(name, kind="counter", value=self.metrics[name])
+
+    def _transaction_closed(self) -> None:
+        """A transaction left the ``active`` state (commit, conflict, or
+        rollback) — maintain the open-transaction gauge."""
+        self.open_transactions -= 1
+        if telemetry.ENABLED:
+            telemetry.gauge("mvcc.open_transactions", self.open_transactions)
+
+    @contextmanager
+    def _recording(self, recorder: Optional[Callable[[Event], None]]):
+        """Subscribe ``recorder`` to the engine tracer for the duration of
+        a lock-held scope.  The lock serializes execution, so the recorder
+        sees exactly one request's events."""
+        if recorder is None:
+            yield
+            return
+        self.tracer.subscribe(recorder)
+        try:
+            yield
+        finally:
+            self.tracer.unsubscribe(recorder)
 
     # ------------------------------------------------------------- execution
 
     def run_in(
-        self, txn: MVCCTransaction, source: str, *, collect: bool = False
+        self,
+        txn: MVCCTransaction,
+        source: str,
+        *,
+        collect: bool = False,
+        recorder: Optional[Callable[[Event], None]] = None,
     ) -> SystemResult:
         """Execute one statement inside ``txn``'s workspace.
 
         The statement-level atomicity machinery applies unchanged — a
         failure rolls the workspace back to the statement boundary and the
-        transaction stays usable.
+        transaction stays usable.  ``recorder`` (an
+        :class:`~repro.observe.SpanRecorder`) captures this statement's
+        phase spans for cross-wire trace stitching.
         """
         with self._lock:
             self._require_open()
@@ -216,7 +255,8 @@ class MVCCEngine:
             chunk = source.strip()
             self._install(txn)
             try:
-                result = self._run_plain(chunk, collect=collect)
+                with self._recording(recorder):
+                    result = self._run_plain(chunk, collect=collect)
             finally:
                 self._extract(txn)
             if result.kind != "query":
@@ -303,10 +343,17 @@ class MVCCEngine:
             private.value = clone_value(obj.value)
             db.objects[name] = private
             txn.cow.add(name)
+            self._bump("mvcc.privatizations")
 
     # ---------------------------------------------------------------- commit
 
-    def commit(self, txn: MVCCTransaction, *, sync: bool = True) -> None:
+    def commit(
+        self,
+        txn: MVCCTransaction,
+        *,
+        sync: bool = True,
+        recorder: Optional[Callable[[Event], None]] = None,
+    ) -> None:
         """First-committer-wins check, publish, write-ahead log.
 
         With ``sync=False`` the commit records are appended (and flushed to
@@ -318,6 +365,7 @@ class MVCCEngine:
             self._require_open()
             if not txn.active:
                 raise CatalogError(f"cannot commit a {txn.state} transaction")
+            start = time.perf_counter()
             obj_writes, obj_drops, alias_writes, alias_drops = txn.write_sets()
             conflicts = sorted(
                 {
@@ -333,6 +381,7 @@ class MVCCEngine:
             )
             if conflicts:
                 txn.state = "aborted"
+                self._transaction_closed()
                 self._bump("mvcc.conflicts")
                 raise ConflictError(
                     "transaction lost the first-committer-wins race on "
@@ -340,21 +389,27 @@ class MVCCEngine:
                     + "; retry on a fresh transaction",
                     names=tuple(conflicts),
                 )
-            fault_point("mvcc.commit")
-            if obj_writes or obj_drops or alias_writes or alias_drops:
-                self._publish(
-                    txn, obj_writes, obj_drops, alias_writes, alias_drops
+            with self._recording(recorder):
+                fault_point("mvcc.commit")
+                if obj_writes or obj_drops or alias_writes or alias_drops:
+                    self._publish(
+                        txn, obj_writes, obj_drops, alias_writes, alias_drops
+                    )
+                fault_point("mvcc.publish")
+                dur = self.durability
+                if dur is not None and txn.statements:
+                    seqs = [dur.log_statement(text) for text in txn.statements]
+                    for seq in seqs:
+                        dur.commit(seq)
+                    if sync:
+                        dur.flush()
+                txn.state = "committed"
+                self._transaction_closed()
+                self._bump("mvcc.commits")
+            if telemetry.ENABLED:
+                telemetry.observe_value(
+                    "mvcc.commit_seconds", time.perf_counter() - start
                 )
-            fault_point("mvcc.publish")
-            dur = self.durability
-            if dur is not None and txn.statements:
-                seqs = [dur.log_statement(text) for text in txn.statements]
-                for seq in seqs:
-                    dur.commit(seq)
-                if sync:
-                    dur.flush()
-            txn.state = "committed"
-            self._bump("mvcc.commits")
 
     def _publish(
         self, txn, obj_writes, obj_drops, alias_writes, alias_drops
@@ -387,6 +442,7 @@ class MVCCEngine:
         with self._lock:
             if txn.active:
                 txn.state = "rolled-back"
+                self._transaction_closed()
                 self._bump("mvcc.rollbacks")
 
     def sync_wal(self) -> None:
@@ -476,12 +532,12 @@ class EngineSession:
             raise CatalogError("a transaction is already open on this session")
         self._txn = self.engine.begin()
 
-    def commit(self, *, sync: bool = True) -> None:
+    def commit(self, *, sync: bool = True, recorder=None) -> None:
         if self._txn is None:
             raise CatalogError("no transaction is open on this session")
         txn, self._txn = self._txn, None
         try:
-            self.engine.commit(txn, sync=sync)
+            self.engine.commit(txn, sync=sync, recorder=recorder)
         except ConflictError:
             self.counters["conflicts"] += 1
             raise
@@ -501,48 +557,59 @@ class EngineSession:
 
     # ------------------------------------------------------------- execution
 
-    def run_one(self, source: str, *, sync: bool = True) -> SystemResult:
+    def run_one(
+        self, source: str, *, sync: bool = True, recorder=None
+    ) -> SystemResult:
         statement_is_query = source.lstrip().startswith("query")
         if not statement_is_query:
             self._require_mutable("mutate")
         elif self._closed:
             # Closed sessions still answer queries against the committed
             # state — the durable local-session contract.
-            return self._read_only_query(source)
+            return self._read_only_query(source, recorder=recorder)
         self.counters["statements"] += 1
         if statement_is_query:
             self.counters["queries"] += 1
         if self._txn is not None:
             try:
                 return self.engine.run_in(
-                    self._txn, source, collect=self.tracing
+                    self._txn, source, collect=self.tracing, recorder=recorder
                 )
             except ConflictError:
                 self.counters["conflicts"] += 1
                 raise
         txn = self.engine.begin()
         try:
-            result = self.engine.run_in(txn, source, collect=self.tracing)
+            result = self.engine.run_in(
+                txn, source, collect=self.tracing, recorder=recorder
+            )
         except BaseException:
             self.engine.rollback(txn)
             raise
         try:
-            self.engine.commit(txn, sync=sync)
+            self.engine.commit(txn, sync=sync, recorder=recorder)
         except ConflictError:
             self.counters["conflicts"] += 1
             raise
         self.counters["commits"] += 1
         return result
 
-    def _read_only_query(self, source: str) -> SystemResult:
+    def _read_only_query(self, source: str, *, recorder=None) -> SystemResult:
         txn = self.engine.begin()
         try:
-            return self.engine.run_in(txn, source, collect=self.tracing)
+            return self.engine.run_in(
+                txn, source, collect=self.tracing, recorder=recorder
+            )
         finally:
             self.engine.rollback(txn)
 
     def run(
-        self, source: str, atomic: bool = False, *, sync: bool = True
+        self,
+        source: str,
+        atomic: bool = False,
+        *,
+        sync: bool = True,
+        recorder=None,
     ) -> list[SystemResult]:
         chunks = split_statements(source)
         if atomic:
@@ -554,7 +621,7 @@ class EngineSession:
             self.begin()
             try:
                 results = [
-                    self._run_indexed(chunk, index)
+                    self._run_indexed(chunk, index, recorder=recorder)
                     for index, chunk in enumerate(chunks)
                 ]
             except BaseException:
@@ -563,17 +630,17 @@ class EngineSession:
             self.commit(sync=sync)
             return results
         return [
-            self._run_indexed(chunk, index, sync=sync)
+            self._run_indexed(chunk, index, sync=sync, recorder=recorder)
             for index, chunk in enumerate(chunks)
         ]
 
     def _run_indexed(
-        self, chunk: str, index: int, *, sync: bool = True
+        self, chunk: str, index: int, *, sync: bool = True, recorder=None
     ) -> SystemResult:
         """Run one program chunk, stamping the program-level statement
         index onto any error (``run_one`` wraps with ``index=None``)."""
         try:
-            return self.run_one(chunk, sync=sync)
+            return self.run_one(chunk, sync=sync, recorder=recorder)
         except StatementError as exc:
             if exc.index is None:
                 exc.index = index

@@ -33,9 +33,13 @@ from __future__ import annotations
 import asyncio
 import json
 import threading
+import time
 from typing import Optional
 
+from repro import telemetry
 from repro.errors import ProtocolError
+from repro.lang.parser import split_statements
+from repro.observe import SpanRecorder
 from repro.server.mvcc import EngineSession, MVCCEngine
 from repro.server.wire import (
     encode_error,
@@ -60,19 +64,27 @@ class GroupCommitBatcher:
     def __init__(self, engine_ref):
         self._engine_ref = engine_ref
         self._waiter: Optional[asyncio.Future] = None
+        self._pending = 0
         self.batches = 0
         self.synced = 0
 
     async def sync(self) -> None:
         self.synced += 1
         if self._waiter is not None:
+            self._pending += 1
             await self._waiter
             return
         self._waiter = asyncio.get_running_loop().create_future()
         waiter = self._waiter
+        self._pending = 1
         await asyncio.sleep(0)  # let concurrent commits join this batch
         self._waiter = None
+        size = self._pending
         self.batches += 1
+        if telemetry.ENABLED:
+            telemetry.incr("group_commit.batches")
+            telemetry.incr("group_commit.synced", size)
+            telemetry.observe_value("group_commit.batch_size", size)
         try:
             await asyncio.to_thread(self._engine_ref().sync_wal)
         except BaseException as exc:
@@ -86,8 +98,44 @@ class GroupCommitBatcher:
             waiter.set_result(None)
 
 
+#: Counter/histogram families pre-declared at server start so every
+#: exposition page lists them (at zero) before traffic arrives.
+CORE_METRIC_FAMILIES = {
+    "counters": (
+        "server.connections",
+        "server.statements",
+        "server.queries",
+        "server.slow_queries",
+        "mvcc.snapshots",
+        "mvcc.commits",
+        "mvcc.conflicts",
+        "mvcc.rollbacks",
+        "mvcc.privatizations",
+        "wal.frames",
+        "wal.bytes",
+        "wal.fsyncs",
+        "group_commit.batches",
+        "group_commit.synced",
+    ),
+    "gauges": ("server.active_sessions", "mvcc.open_transactions"),
+    "histograms": (
+        "server.statement_seconds",
+        "mvcc.commit_seconds",
+        "wal.fsync_seconds",
+        "group_commit.batch_size",
+    ),
+}
+
+
 class SOSServer:
-    """One listening socket over one :class:`MVCCEngine`."""
+    """One listening socket over one :class:`MVCCEngine`.
+
+    ``slow_query_ms`` arms the slow-query log: any statement at or over
+    the threshold is recorded (text, duration, per-phase timings, fired
+    rules) in a bounded in-memory ring and — when ``slow_query_log`` is a
+    path — appended to that file as one JSON object per line.  Starting a
+    server enables the process-wide :mod:`repro.telemetry` registry.
+    """
 
     def __init__(
         self,
@@ -96,6 +144,8 @@ class SOSServer:
         group_commit: int = 8,
         checkpoint_interval: Optional[int] = None,
         allow_reset: bool = False,
+        slow_query_ms: Optional[float] = None,
+        slow_query_log: Optional[str] = None,
     ):
         self._config = {
             "data_dir": data_dir,
@@ -106,14 +156,34 @@ class SOSServer:
         self.allow_reset = allow_reset
         self.batcher = GroupCommitBatcher(lambda: self.engine)
         self.connections = 0
+        self.active_sessions = 0
+        self.started_at = time.time()
+        if slow_query_ms is None and slow_query_log is not None:
+            slow_query_ms = 0.0  # a log path alone means "log everything"
+        self.slow_query_ms = slow_query_ms
+        self.slow_queries: list[dict] = []
+        self._slow_log_file = (
+            open(slow_query_log, "a") if slow_query_log is not None else None
+        )
         self._server: Optional[asyncio.AbstractServer] = None
+        self._metrics_server: Optional[asyncio.AbstractServer] = None
         self._handlers: set[asyncio.Task] = set()
+        telemetry.enable()
+        telemetry.REGISTRY.declare(**CORE_METRIC_FAMILIES)
 
     # ---------------------------------------------------------------- serving
 
     async def start(self, host: str = "127.0.0.1", port: int = DEFAULT_PORT):
         self._server = await asyncio.start_server(self._handle, host, port)
         return self._server.sockets[0].getsockname()[:2]
+
+    async def start_metrics(self, host: str = "127.0.0.1", port: int = 0):
+        """Serve the Prometheus exposition endpoint on the same loop;
+        returns the bound ``(host, port)``."""
+        self._metrics_server = await asyncio.start_server(
+            self._handle_metrics, host, port
+        )
+        return self._metrics_server.sockets[0].getsockname()[:2]
 
     async def serve_forever(self) -> None:
         assert self._server is not None
@@ -124,11 +194,17 @@ class SOSServer:
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
+        if self._metrics_server is not None:
+            self._metrics_server.close()
+            await self._metrics_server.wait_closed()
         for task in tuple(self._handlers):
             task.cancel()
         if self._handlers:
             await asyncio.gather(*self._handlers, return_exceptions=True)
         self.engine.close()
+        if self._slow_log_file is not None:
+            self._slow_log_file.close()
+            self._slow_log_file = None
 
     # ------------------------------------------------------------ per-client
 
@@ -136,6 +212,10 @@ class SOSServer:
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
         self.connections += 1
+        self.active_sessions += 1
+        if telemetry.ENABLED:
+            telemetry.incr("server.connections")
+            telemetry.gauge("server.active_sessions", self.active_sessions)
         task = asyncio.current_task()
         if task is not None:
             self._handlers.add(task)
@@ -163,6 +243,9 @@ class SOSServer:
         finally:
             if task is not None:
                 self._handlers.discard(task)
+            self.active_sessions -= 1
+            if telemetry.ENABLED:
+                telemetry.gauge("server.active_sessions", self.active_sessions)
             # Disconnect (or drop) mid-transaction: roll the open
             # transaction back; its statements never reached the WAL.
             session.abort_open_transaction()
@@ -186,39 +269,143 @@ class SOSServer:
         if self.engine.durable and not session.in_transaction:
             await self.batcher.sync()
 
+    # -------------------------------------------------------- accounting
+
+    def _account_statement(
+        self, session: EngineSession, source: str, result, elapsed: float
+    ) -> None:
+        """Per-statement registry counters plus the slow-query log."""
+        if telemetry.ENABLED:
+            telemetry.incr("server.statements")
+            if result.kind == "query":
+                telemetry.incr("server.queries")
+            telemetry.observe_value("server.statement_seconds", elapsed)
+        if (
+            self.slow_query_ms is not None
+            and elapsed * 1000.0 >= self.slow_query_ms
+        ):
+            self._log_slow(session, source, result, elapsed)
+
+    def _account_program(
+        self, session: EngineSession, source: str, results, elapsed: float
+    ) -> None:
+        """Account a multi-statement program: registry totals use the
+        whole-request duration split evenly; the slow-query log attributes
+        each chunk its own measured execution timings."""
+        if not results:
+            return
+        chunks = split_statements(source)
+        share = elapsed / len(results)
+        for index, result in enumerate(results):
+            text = chunks[index] if index < len(chunks) else source
+            self._account_statement(session, text, result, share)
+
+    def _log_slow(
+        self, session: EngineSession, source: str, result, elapsed: float
+    ) -> None:
+        entry = {
+            "ts": time.time(),
+            "session": session.session_id,
+            "ms": round(elapsed * 1000.0, 3),
+            "kind": result.kind,
+            "statement": source,
+            "timings": {
+                phase: round(seconds * 1000.0, 3)
+                for phase, seconds in (result.timings or {}).items()
+            },
+            "fired": list(result.fired or []),
+        }
+        self.slow_queries.append(entry)
+        if len(self.slow_queries) > 256:
+            del self.slow_queries[: len(self.slow_queries) - 256]
+        if telemetry.ENABLED:
+            telemetry.incr("server.slow_queries")
+        if self._slow_log_file is not None:
+            self._slow_log_file.write(
+                json.dumps(entry, separators=(",", ":")) + "\n"
+            )
+            self._slow_log_file.flush()
+
+    def telemetry_snapshot(self) -> dict:
+        """The registry snapshot plus server-level identification — the
+        ``metrics`` op payload and the exposition page source."""
+        snap = telemetry.REGISTRY.snapshot()
+        snap["gauges"]["server.uptime_seconds"] = time.time() - self.started_at
+        snap["server"] = {
+            "server": "repro",
+            "durable": self.engine.durable,
+            "uptime_seconds": snap["gauges"]["server.uptime_seconds"],
+            "connections": self.connections,
+            "active_sessions": self.active_sessions,
+            "sessions": self.engine._sessions,
+            "engine": dict(self.engine.metrics),
+            "group_commit": {
+                "batches": self.batcher.batches,
+                "synced": self.batcher.synced,
+            },
+            "slow_queries": list(self.slow_queries[-16:]),
+        }
+        return snap
+
     # ------------------------------------------------------------------- ops
 
     async def _op_run_one(self, session, request):
+        recorder = SpanRecorder() if request.get("trace") else None
+        start = time.perf_counter()
         result = await asyncio.to_thread(
-            session.run_one, request["source"], sync=False
+            session.run_one, request["source"], sync=False, recorder=recorder
         )
         if result.kind != "query":
             await self._sync_before_ack(session)
+        elapsed = time.perf_counter() - start
+        self._account_statement(session, request["source"], result, elapsed)
         fault_point("server.ack")
-        return encode_result(result)
+        frame = encode_result(result)
+        if recorder is not None:
+            frame["server_spans"] = recorder.events
+            frame["server_elapsed"] = recorder.elapsed()
+        return frame
 
     async def _op_run(self, session, request):
+        recorder = SpanRecorder() if request.get("trace") else None
+        start = time.perf_counter()
         results = await asyncio.to_thread(
             session.run,
             request["source"],
             bool(request.get("atomic", False)),
             sync=False,
+            recorder=recorder,
         )
         if any(r.kind != "query" for r in results):
             await self._sync_before_ack(session)
+        elapsed = time.perf_counter() - start
+        self._account_program(session, request["source"], results, elapsed)
         fault_point("server.ack")
-        return [encode_result(r) for r in results]
+        frames = [encode_result(r) for r in results]
+        if recorder is None:
+            return frames
+        return {
+            "results": frames,
+            "server_spans": recorder.events,
+            "server_elapsed": recorder.elapsed(),
+        }
 
     async def _op_begin(self, session, request):
         session.begin()
         return None
 
     async def _op_commit(self, session, request):
-        await asyncio.to_thread(session.commit, sync=False)
+        recorder = SpanRecorder() if request.get("trace") else None
+        await asyncio.to_thread(session.commit, sync=False, recorder=recorder)
         if self.engine.durable:
             await self.batcher.sync()
         fault_point("server.ack")
-        return None
+        if recorder is None:
+            return None
+        return {
+            "server_spans": recorder.events,
+            "server_elapsed": recorder.elapsed(),
+        }
 
     async def _op_rollback(self, session, request):
         session.rollback()
@@ -263,6 +450,54 @@ class SOSServer:
             "in_transaction": session.in_transaction,
         }
 
+    async def _op_metrics(self, session, request):
+        return self.telemetry_snapshot()
+
+    # `status` is the conventional wire name; `metrics` the explicit one.
+    _op_status = _op_metrics
+
+    # ------------------------------------------------- metrics exposition
+
+    async def _handle_metrics(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        """A minimal HTTP/1.1 GET handler for the exposition endpoint —
+        enough for ``curl`` and a Prometheus scraper, on the same loop."""
+        try:
+            request_line = await reader.readline()
+            while True:  # drain headers; the page ignores them
+                line = await reader.readline()
+                if not line or line in (b"\r\n", b"\n"):
+                    break
+            parts = request_line.decode("latin-1", "replace").split()
+            path = parts[1].split("?", 1)[0] if len(parts) > 1 else "/"
+            if path in ("/", "/metrics"):
+                status = "200 OK"
+                ctype = "text/plain; version=0.0.4; charset=utf-8"
+                body = telemetry.render_prometheus(
+                    self.telemetry_snapshot()
+                ).encode("utf-8")
+            else:
+                status, ctype, body = "404 Not Found", "text/plain", b"not found\n"
+            writer.write(
+                (
+                    f"HTTP/1.1 {status}\r\n"
+                    f"Content-Type: {ctype}\r\n"
+                    f"Content-Length: {len(body)}\r\n"
+                    "Connection: close\r\n\r\n"
+                ).encode("latin-1")
+                + body
+            )
+            await writer.drain()
+        except (ConnectionError, OSError, asyncio.CancelledError):
+            pass
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, OSError, RuntimeError):
+                pass
+
     async def _op_reset(self, session, request):
         """Test-only (``allow_reset``): swap in a fresh engine so a shared
         test server gives each test an empty database."""
@@ -289,6 +524,9 @@ async def serve(
     data_dir: Optional[str] = None,
     group_commit: int = 8,
     checkpoint_interval: Optional[int] = None,
+    metrics_port: Optional[int] = None,
+    slow_query_ms: Optional[float] = None,
+    slow_query_log: Optional[str] = None,
     ready: Optional[threading.Event] = None,
 ) -> None:
     """Run a server until cancelled (the ``python -m repro serve`` body)."""
@@ -296,9 +534,14 @@ async def serve(
         data_dir=data_dir,
         group_commit=group_commit,
         checkpoint_interval=checkpoint_interval,
+        slow_query_ms=slow_query_ms,
+        slow_query_log=slow_query_log,
     )
     bound = await server.start(host, port)
     print(f"repro server listening on {bound[0]}:{bound[1]}", flush=True)
+    if metrics_port is not None:
+        mhost, mport = await server.start_metrics(host, metrics_port)
+        print(f"metrics exposition on http://{mhost}:{mport}/metrics", flush=True)
     if ready is not None:
         ready.set()
     try:
@@ -315,6 +558,8 @@ class ServerHandle:
         self.server = server
         self.host = host
         self.port = port
+        self.metrics_host: Optional[str] = None
+        self.metrics_port: Optional[int] = None
         self._loop = loop
         self._thread = thread
         self._stopped = False
@@ -322,6 +567,12 @@ class ServerHandle:
     @property
     def address(self) -> str:
         return f"repro://{self.host}:{self.port}"
+
+    @property
+    def metrics_url(self) -> Optional[str]:
+        if self.metrics_port is None:
+            return None
+        return f"http://{self.metrics_host}:{self.metrics_port}/metrics"
 
     def stop(self) -> None:
         if self._stopped:
@@ -349,16 +600,22 @@ def start_server(
     group_commit: int = 8,
     checkpoint_interval: Optional[int] = None,
     allow_reset: bool = False,
+    metrics_port: Optional[int] = None,
+    slow_query_ms: Optional[float] = None,
+    slow_query_log: Optional[str] = None,
 ) -> ServerHandle:
     """Start a server on a background thread; ``port=0`` picks a free port.
     Returns a :class:`ServerHandle` whose ``address`` is a ready-to-use
-    ``repro://`` DSN."""
+    ``repro://`` DSN (and, with ``metrics_port``, whose ``metrics_url``
+    is the live exposition endpoint)."""
     loop = asyncio.new_event_loop()
     server = SOSServer(
         data_dir=data_dir,
         group_commit=group_commit,
         checkpoint_interval=checkpoint_interval,
         allow_reset=allow_reset,
+        slow_query_ms=slow_query_ms,
+        slow_query_log=slow_query_log,
     )
     started: dict = {}
     ready = threading.Event()
@@ -369,6 +626,10 @@ def start_server(
         async def boot():
             try:
                 started["address"] = await server.start(host, port)
+                if metrics_port is not None:
+                    started["metrics"] = await server.start_metrics(
+                        host, metrics_port
+                    )
             except BaseException as exc:  # noqa: BLE001
                 started["error"] = exc
             ready.set()
@@ -386,4 +647,7 @@ def start_server(
         loop.close()
         raise started["error"]
     bound_host, bound_port = started["address"]
-    return ServerHandle(server, bound_host, bound_port, loop, thread)
+    handle = ServerHandle(server, bound_host, bound_port, loop, thread)
+    if "metrics" in started:
+        handle.metrics_host, handle.metrics_port = started["metrics"]
+    return handle

@@ -1,0 +1,322 @@
+"""Process-wide server telemetry: a metrics registry and its renderers.
+
+Where :mod:`repro.observe` answers "what did *this statement* do?", this
+module answers "what is *the server* doing?" — a single process-wide
+:class:`MetricsRegistry` of monotonic counters, point-in-time gauges,
+and latency :class:`RollingHistogram`\\ s (built on
+:class:`repro.observe.Histogram`) that the socket server, the MVCC
+engine, the group-commit batcher and the WAL feed continuously.
+
+The registry follows the same zero-overhead discipline as
+:data:`repro.observe.ENABLED`: every producer call site guards with
+``if telemetry.ENABLED:`` so a process that never starts a server pays
+one module-attribute load per site.  :func:`repro.server.net.SOSServer`
+enables the registry when it starts; because the registry is
+process-wide, multiple in-process servers (the test harness does this)
+share one registry and assertions are written as deltas.
+
+Three consumers:
+
+* the ``metrics`` wire op (``Session.server_metrics()``) returns
+  :meth:`MetricsRegistry.snapshot` as plain JSON;
+* :func:`render_prometheus` renders a snapshot in the Prometheus plain
+  text exposition format, served by the ``--metrics-port`` endpoint;
+* :func:`render_top` renders two successive snapshots as the live
+  terminal screen behind ``python -m repro top repro://host:port``.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Optional
+
+from .observe import Histogram
+
+ENABLED = False
+"""True once a server (or a test) called :func:`enable` — fast-path guard."""
+
+_WINDOW = 1024
+"""Observations retained per histogram for percentile estimation."""
+
+
+class RollingHistogram(Histogram):
+    """A :class:`repro.observe.Histogram` for long-running processes.
+
+    A per-statement histogram can afford to keep every observation; a
+    server-lifetime latency histogram cannot.  This subclass keeps the
+    exact total ``count``/``sum`` forever but retains only the most
+    recent :data:`_WINDOW` observations, so percentiles describe recent
+    behavior and memory stays bounded.
+    """
+
+    __slots__ = ("limit", "total_count", "total_sum")
+
+    def __init__(self, limit: int = _WINDOW) -> None:
+        super().__init__()
+        self.limit = limit
+        self.total_count = 0
+        self.total_sum = 0.0
+
+    def record(self, value: float) -> None:
+        value = float(value)
+        self.total_count += 1
+        self.total_sum += value
+        self.values.append(value)
+        if len(self.values) > self.limit:
+            # Amortized: shed the oldest half in one slice, not one pop
+            # per record.
+            del self.values[: self.limit // 2]
+
+    @property
+    def count(self) -> int:
+        return self.total_count
+
+    def as_dict(self) -> dict:
+        if not self.total_count:
+            return {"count": 0, "sum": 0.0}
+        return {
+            "count": self.total_count,
+            "sum": self.total_sum,
+            "min": min(self.values),
+            "max": max(self.values),
+            "mean": self.total_sum / self.total_count,
+            "p50": self.percentile(50),
+            "p95": self.percentile(95),
+            "p99": self.percentile(99),
+        }
+
+
+class MetricsRegistry:
+    """Thread-safe counters, gauges, and histograms, keyed by dotted name
+    (``mvcc.commits``, ``wal.fsync_seconds``).
+
+    Producers run on the asyncio loop *and* on ``to_thread`` workers, so
+    every mutation takes the registry lock; each is a dict update, never
+    contended for long.
+    """
+
+    __slots__ = ("_lock", "counters", "gauges", "histograms")
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.counters: dict[str, float] = {}
+        self.gauges: dict[str, float] = {}
+        self.histograms: dict[str, RollingHistogram] = {}
+
+    def incr(self, name: str, value: float = 1) -> None:
+        with self._lock:
+            self.counters[name] = self.counters.get(name, 0) + value
+
+    def gauge(self, name: str, value: float) -> None:
+        with self._lock:
+            self.gauges[name] = value
+
+    def observe(self, name: str, value: float) -> None:
+        with self._lock:
+            hist = self.histograms.get(name)
+            if hist is None:
+                hist = self.histograms[name] = RollingHistogram()
+            hist.record(value)
+
+    def declare(self, counters=(), gauges=(), histograms=()) -> None:
+        """Pre-register metric families at their zero values so renderers
+        list them before the first observation arrives (idempotent, never
+        overwrites recorded values)."""
+        with self._lock:
+            for name in counters:
+                self.counters.setdefault(name, 0)
+            for name in gauges:
+                self.gauges.setdefault(name, 0.0)
+            for name in histograms:
+                self.histograms.setdefault(name, RollingHistogram())
+
+    def snapshot(self) -> dict:
+        """A JSON-able point-in-time copy of the whole registry."""
+        with self._lock:
+            return {
+                "counters": dict(self.counters),
+                "gauges": dict(self.gauges),
+                "histograms": {
+                    name: hist.as_dict()
+                    for name, hist in self.histograms.items()
+                },
+            }
+
+    def reset(self) -> None:
+        with self._lock:
+            self.counters.clear()
+            self.gauges.clear()
+            self.histograms.clear()
+
+    def __repr__(self) -> str:
+        return (
+            f"<MetricsRegistry counters={len(self.counters)}"
+            f" gauges={len(self.gauges)} histograms={len(self.histograms)}>"
+        )
+
+
+REGISTRY = MetricsRegistry()
+"""The process-wide registry every producer feeds."""
+
+
+def enable() -> None:
+    """Arm the registry (idempotent).  Servers call this at startup;
+    once on, it stays on — the flag is a producer fast path, not a
+    subscription."""
+    global ENABLED
+    ENABLED = True
+
+
+def disable() -> None:
+    global ENABLED
+    ENABLED = False
+
+
+def reset() -> None:
+    """Clear all recorded values (tests)."""
+    REGISTRY.reset()
+
+
+def incr(name: str, value: float = 1) -> None:
+    if ENABLED:
+        REGISTRY.incr(name, value)
+
+
+def gauge(name: str, value: float) -> None:
+    if ENABLED:
+        REGISTRY.gauge(name, value)
+
+
+def observe_value(name: str, value: float) -> None:
+    if ENABLED:
+        REGISTRY.observe(name, value)
+
+
+# ---------------------------------------------------------------------------
+# Prometheus exposition
+# ---------------------------------------------------------------------------
+
+
+def _metric_name(name: str) -> str:
+    """``mvcc.commit_seconds`` -> ``repro_mvcc_commit_seconds``."""
+    cleaned = "".join(c if c.isalnum() or c == "_" else "_" for c in name)
+    return f"repro_{cleaned}"
+
+
+def render_prometheus(snapshot: dict) -> str:
+    """Render a :meth:`MetricsRegistry.snapshot` in the Prometheus plain
+    text exposition format (version 0.0.4).
+
+    Counters get a ``_total`` suffix; histograms render as summaries
+    with ``quantile`` labels plus ``_count``/``_sum`` series.
+    """
+    lines: list[str] = []
+    for name in sorted(snapshot.get("counters", {})):
+        metric = _metric_name(name) + "_total"
+        lines.append(f"# TYPE {metric} counter")
+        lines.append(f"{metric} {_fmt(snapshot['counters'][name])}")
+    for name in sorted(snapshot.get("gauges", {})):
+        metric = _metric_name(name)
+        lines.append(f"# TYPE {metric} gauge")
+        lines.append(f"{metric} {_fmt(snapshot['gauges'][name])}")
+    for name in sorted(snapshot.get("histograms", {})):
+        stats = snapshot["histograms"][name]
+        metric = _metric_name(name)
+        lines.append(f"# TYPE {metric} summary")
+        for q, key in (("0.5", "p50"), ("0.95", "p95"), ("0.99", "p99")):
+            if key in stats:
+                lines.append(f'{metric}{{quantile="{q}"}} {_fmt(stats[key])}')
+        lines.append(f"{metric}_count {_fmt(stats.get('count', 0))}")
+        lines.append(f"{metric}_sum {_fmt(stats.get('sum', 0.0))}")
+    return "\n".join(lines) + "\n"
+
+
+def _fmt(value: float) -> str:
+    if isinstance(value, float) and value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(value) if isinstance(value, float) else str(value)
+
+
+# ---------------------------------------------------------------------------
+# Terminal monitor rendering (`python -m repro top`)
+# ---------------------------------------------------------------------------
+
+
+def _rate(now: dict, before: Optional[dict], name: str, interval: float) -> float:
+    if not before or interval <= 0:
+        return 0.0
+    delta = now.get("counters", {}).get(name, 0) - before.get(
+        "counters", {}
+    ).get(name, 0)
+    return delta / interval
+
+
+def render_top(
+    snapshot: dict,
+    previous: Optional[dict] = None,
+    interval: float = 1.0,
+    address: str = "",
+) -> str:
+    """One screenful of the registry: current gauges, totals, rates
+    computed against the ``previous`` snapshot, and latency percentiles.
+
+    Pure function of its inputs so it is testable without a terminal;
+    ``python -m repro top`` clears the screen and reprints it.
+    """
+    counters = snapshot.get("counters", {})
+    gauges = snapshot.get("gauges", {})
+    hists = snapshot.get("histograms", {})
+    server = snapshot.get("server", {})
+
+    def total(name: str) -> float:
+        return counters.get(name, 0)
+
+    lines = [
+        f"repro top — {address or 'server'}"
+        + (
+            f"  up {server['uptime_seconds']:.0f}s"
+            if "uptime_seconds" in server
+            else ""
+        ),
+        "",
+        f"sessions   active {gauges.get('server.active_sessions', 0):>6.0f}"
+        f"   connections {total('server.connections'):>8.0f}",
+        f"txns       open   {gauges.get('mvcc.open_transactions', 0):>6.0f}"
+        f"   commits     {total('mvcc.commits'):>8.0f}"
+        f"   conflicts {total('mvcc.conflicts'):>8.0f}"
+        f"   rollbacks {total('mvcc.rollbacks'):>6.0f}",
+        f"statements total  {total('server.statements'):>6.0f}"
+        f"   queries     {total('server.queries'):>8.0f}"
+        f"   slow      {total('server.slow_queries'):>8.0f}"
+        f"   {_rate(snapshot, previous, 'server.statements', interval):>8.1f}/s",
+        f"snapshots  taken  {total('mvcc.snapshots'):>6.0f}"
+        f"   privatized  {total('mvcc.privatizations'):>8.0f}",
+        f"wal        frames {total('wal.frames'):>6.0f}"
+        f"   bytes       {total('wal.bytes'):>8.0f}"
+        f"   fsyncs    {total('wal.fsyncs'):>8.0f}"
+        f"   {_rate(snapshot, previous, 'wal.bytes', interval):>8.1f} B/s",
+        f"groupcommit batches {total('group_commit.batches'):>4.0f}"
+        f"   commits     {total('group_commit.synced'):>8.0f}"
+        f"   mean batch {_mean_batch(counters):>7.2f}",
+    ]
+    for name, label in (
+        ("server.statement_seconds", "statement"),
+        ("mvcc.commit_seconds", "commit"),
+        ("wal.fsync_seconds", "fsync"),
+    ):
+        stats = hists.get(name)
+        if stats and stats.get("count"):
+            lines.append(
+                f"{label:<10} p50 {stats['p50'] * 1e3:>9.3f}ms"
+                f"   p95 {stats['p95'] * 1e3:>9.3f}ms"
+                f"   p99 {stats['p99'] * 1e3:>9.3f}ms"
+                f"   n {stats['count']:>6.0f}"
+            )
+    return "\n".join(lines) + "\n"
+
+
+def _mean_batch(counters: dict) -> float:
+    batches = counters.get("group_commit.batches", 0)
+    if not batches:
+        return 0.0
+    return counters.get("group_commit.synced", 0) / batches

@@ -32,6 +32,27 @@ update cities := insert(cities, mktuple[<(cname, "aa"), (center, pt(1, 1)), (pop
 update cities := insert(cities, mktuple[<(cname, "bb"), (center, pt(2, 2)), (pop, 200000)>])
 """
 
+# 4 cities strictly inside 4 disjoint state tiles: the spatial join matches
+# each city exactly once, so search_join probe fan-out is deterministic.
+SPATIAL_SCHEMA = """
+type city = tuple(<(cname, string), (center, point), (pop, int)>)
+type state = tuple(<(sname, string), (region, pgon)>)
+create cities : rel(city)
+create states : rel(state)
+create cities_rep : btree(city, pop, int)
+create states_rep : lsdtree(state, fun (s: state) bbox(s region))
+update rep := insert(rep, cities, cities_rep)
+update rep := insert(rep, states, states_rep)
+""" + "".join(
+    f'update states := insert(states, mktuple[<(sname, "s{i}"), '
+    f"(region, region_box({i * 20}, 0, {i * 20 + 20}, 100))>])\n"
+    for i in range(4)
+) + "".join(
+    f'update cities := insert(cities, mktuple[<(cname, "c{i}"), '
+    f"(center, pt({i * 20 + 10}, 50)), (pop, {1000 * (i + 1)})>])\n"
+    for i in range(4)
+)
+
 
 @pytest.fixture(scope="module")
 def server_handle():
@@ -169,6 +190,39 @@ class TestSessionParity:
             assert handle is db
             handle.run(SCHEMA)
         assert db.closed
+
+    def test_metric_histograms_round_trip(self, db):
+        """``search_join.probe_rows`` — the one per-statement histogram —
+        must survive the wire codec with its raw observations intact."""
+        db.run(SPATIAL_SCHEMA)
+        db.set_tracing(True)
+        result = db.query("cities states join[center inside region]")
+        hist = result.metrics.histograms["search_join.probe_rows"]
+        # 4 outer tuples, each matching exactly one state: 4 probes of
+        # fan-out 1, identical through both transports.
+        assert hist.values == [1.0, 1.0, 1.0, 1.0]
+        assert hist.as_dict()["p50"] == 1.0
+        assert result.metrics.counters["search_join.probes"] == 4
+
+    def test_explain_analyze_reports_histograms(self, db):
+        db.run(SPATIAL_SCHEMA)
+        info = db.explain(
+            "cities states join[center inside region]", analyze=True
+        )
+        stats = info["metrics"]["histograms"]["search_join.probe_rows"]
+        assert stats["count"] == 4
+        assert stats["p50"] == 1.0
+
+    def test_raising_subscriber_does_not_break_execution(self, db):
+        db.run(SCHEMA)
+
+        def broken(event):
+            raise RuntimeError("listener bug")
+
+        db.subscribe(broken)
+        result = db.query("cities_rep feed count")
+        assert result.value == 2
+        assert db.tracer.subscriber_errors > 0
 
 
 class TestDSN:

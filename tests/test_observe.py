@@ -13,6 +13,7 @@ from repro.observe import (
     ExecutionMetrics,
     Histogram,
     RuleTrace,
+    SpanRecorder,
     Tracer,
 )
 
@@ -127,6 +128,54 @@ class TestTracer:
     def test_unsubscribe_unknown_fn_is_a_noop(self):
         tracer = Tracer()
         tracer.unsubscribe(lambda e: None)  # never subscribed: no error
+
+    def test_deliver_dispatches_prebuilt_events(self):
+        tracer = Tracer()
+        seen = []
+        tracer.subscribe(seen.append)
+        event = Event("remote", "begin", depth=3, ts=123.0)
+        tracer.deliver(event)
+        assert seen == [event]
+        assert seen[0].depth == 3 and seen[0].ts == 123.0
+
+    def test_deliver_counts_subscriber_errors(self):
+        tracer = Tracer()
+        tracer.subscribe(
+            lambda e: (_ for _ in ()).throw(RuntimeError("boom"))
+        )
+        tracer.deliver(Event("x"))
+        assert tracer.subscriber_errors == 1
+
+
+class TestRemoteReplay:
+    """The pieces behind cross-wire trace stitching: server-side span
+    capture and explicit-timestamp replay (see docs/OBSERVABILITY.md)."""
+
+    def test_span_recorder_captures_json_able_frames(self):
+        tracer = Tracer()
+        recorder = SpanRecorder()
+        tracer.subscribe(recorder)
+        with tracer.span("work", tag=1):
+            tracer.emit("inner", value=2.0)
+        frames = recorder.events
+        assert [(f["name"], f["kind"]) for f in frames] == [
+            ("work", "begin"), ("inner", "counter"), ("work", "end"),
+        ]
+        # Relative, monotone timestamps inside the recorder's window.
+        ts = [f["t"] for f in frames]
+        assert ts == sorted(ts) and ts[0] >= 0.0
+        assert recorder.elapsed() >= ts[-1]
+        assert frames[1]["depth"] == 1
+        json.dumps(frames)  # wire-ready
+
+    def test_exporter_honors_explicit_event_ts(self):
+        exporter = ChromeTraceExporter()
+        origin = exporter._origin
+        exporter(Event("remote", "begin", ts=origin + 0.5))
+        exporter(Event("remote", "end", value=0.25, ts=origin + 0.75))
+        assert exporter.events[0]["ts"] == pytest.approx(0.5e6)
+        assert exporter.events[1]["ts"] == pytest.approx(0.75e6)
+        assert exporter.events[1]["args"]["duration_ms"] == 250.0
 
 
 class TestCollecting:
