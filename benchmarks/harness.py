@@ -30,6 +30,10 @@ conflict-free and the counters deterministic), plus a ``scaling``
 benchmark whose gated ``eight_beats_one_ok`` flag pins down that
 cross-client group commit actually buys throughput — eight clients must
 outrun one.  Raw statements/sec land in ``info`` (machine-dependent).
+The ``retry_overhead`` probe runs the single-client workload once plain
+and once with client retries armed (``?retries=3``) under zero faults:
+the gated ``retries`` / ``journal_hits`` deltas must stay zero, and the
+timing ratio between the two passes is reported in ``info``.
 """
 
 from __future__ import annotations
@@ -508,6 +512,74 @@ def bench_server_scaling(smoke: bool) -> dict:
     return entry
 
 
+def bench_retry_overhead(smoke: bool) -> dict:
+    """The price of arming the retry machinery when nothing fails: the
+    single-client insert workload through a plain DSN and again through
+    ``?retries=3&backoff_ms=10``.  With zero faults the tokened path adds
+    only a uuid per mutation and one journal record per commit, so the
+    gated ``retries`` / ``journal_hits`` deltas must stay zero; the
+    timing ratio is machine-dependent and reported in ``info``."""
+    from repro.api import connect
+
+    per_round = 20 if smoke else 100
+    rounds = 3 if smoke else 5
+    with tempfile.TemporaryDirectory() as tmp:
+        handle = _start_bench_server(tmp)
+        try:
+            _server_schema(handle.address, 1)
+            before = _server_counters(handle.address)
+            key = 0
+
+            def run_with(options: str) -> list[float]:
+                nonlocal key
+                db = connect(handle.address + options)
+                times = []
+                for _ in range(rounds):
+                    start = time.perf_counter()
+                    for i in range(per_round):
+                        db.run_one(
+                            f"update r0 := insert(r0, "
+                            f'mktuple[<(k, {key + i}), (name, "x")>])'
+                        )
+                    times.append((time.perf_counter() - start) * 1000.0)
+                    key += per_round
+                db.disconnect()
+                return times
+
+            plain = run_with("")
+            armed = run_with("?retries=3&backoff_ms=10")
+            after = _server_counters(handle.address)
+        finally:
+            handle.stop()
+    retries = sum(
+        after.get(k, 0) - before.get(k, 0)
+        for k in (
+            "client.retries.transport",
+            "client.retries.conflict",
+            "client.retries.busy",
+        )
+    )
+    entry = _summarize(armed)
+    entry["counters"] = {
+        "statements": per_round * rounds,
+        # No fault was injected, so a non-zero retry (or a journal hit,
+        # which would mean a duplicate token) is a correctness regression.
+        "retries": retries,
+        "journal_hits": after.get("mvcc.journal_hits", 0)
+        - before.get("mvcc.journal_hits", 0),
+        "reconnects": after.get("client.reconnects", 0)
+        - before.get("client.reconnects", 0),
+    }
+    plain_median = statistics.median(plain)
+    entry["info"] = {
+        "plain_median_ms": round(plain_median, 3),
+        "overhead_ratio": round(
+            statistics.median(armed) / max(plain_median, 1e-9), 3
+        ),
+    }
+    return entry
+
+
 BENCHMARKS = {
     "b1_range": bench_b1_range,
     "b1_scan": bench_b1_scan,
@@ -527,6 +599,7 @@ SERVER_BENCHMARKS = {
     "clients_8": bench_server_eight_clients,
     "clients_64": bench_server_sixtyfour_clients,
     "scaling": bench_server_scaling,
+    "retry_overhead": bench_retry_overhead,
 }
 
 SUITES = {

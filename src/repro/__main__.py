@@ -420,7 +420,8 @@ def run_lint(argv: list[str]) -> int:
 def run_serve(argv: list[str]) -> int:
     """``python -m repro serve --data-dir DIR [--host H] [--port P]
     [--group-commit N] [--checkpoint-interval N] [--metrics-port P]
-    [--slow-query-ms MS] [--slow-query-log FILE]``.
+    [--slow-query-ms MS] [--slow-query-log FILE] [--max-connections N]
+    [--statement-timeout-ms MS]``.
 
     Serves one durable database to any number of concurrent client
     sessions (``connect("repro://host:port")``) with snapshot isolation,
@@ -432,6 +433,10 @@ def run_serve(argv: list[str]) -> int:
     registry as a Prometheus text exposition page on the same loop;
     ``--slow-query-ms`` arms the slow-query log (JSON lines to
     ``--slow-query-log``, or kept in memory for the ``metrics`` op).
+    ``--max-connections`` sheds excess connections with a retryable busy
+    error; ``--statement-timeout-ms`` cancels statements that evaluate
+    past the deadline.  SIGTERM drains gracefully: in-flight commits
+    finish durably, idle transactions roll back, then exit 0.
     """
     data_dir, argv, ok = _take_option(argv, "--data-dir")
     if not ok:
@@ -457,6 +462,12 @@ def run_serve(argv: list[str]) -> int:
     slow_query_log, argv, ok = _take_option(argv, "--slow-query-log")
     if not ok:
         return 2
+    raw_max_conns, argv, ok = _take_option(argv, "--max-connections")
+    if not ok:
+        return 2
+    raw_stmt_timeout, argv, ok = _take_option(argv, "--statement-timeout-ms")
+    if not ok:
+        return 2
     try:
         port = int(raw_port) if raw_port is not None else None
         group_commit = int(raw_group) if raw_group is not None else 8
@@ -465,9 +476,16 @@ def run_serve(argv: list[str]) -> int:
             int(raw_metrics_port) if raw_metrics_port is not None else None
         )
         slow_query_ms = float(raw_slow_ms) if raw_slow_ms is not None else None
+        max_connections = (
+            int(raw_max_conns) if raw_max_conns is not None else None
+        )
+        statement_timeout_ms = (
+            float(raw_stmt_timeout) if raw_stmt_timeout is not None else None
+        )
     except ValueError:
         print("error: --port / --group-commit / --checkpoint-interval / "
-              "--metrics-port need integers (--slow-query-ms a number)",
+              "--metrics-port / --max-connections need integers "
+              "(--slow-query-ms / --statement-timeout-ms a number)",
               file=sys.stderr)
         return 2
     if argv:
@@ -489,6 +507,8 @@ def run_serve(argv: list[str]) -> int:
                 metrics_port=metrics_port,
                 slow_query_ms=slow_query_ms,
                 slow_query_log=slow_query_log,
+                max_connections=max_connections,
+                statement_timeout_ms=statement_timeout_ms,
             )
         )
     except KeyboardInterrupt:

@@ -24,12 +24,17 @@ The DSN forms:
 ``"file:PATH"``
     a durable database directory — recovered on open, write-ahead logged
     afterwards (``data_dir=PATH`` is sugar for this form).
-``"repro://HOST[:PORT]"``
+``"repro://HOST[:PORT][?options]"``
     a session on a running multi-session server
     (``python -m repro serve``) — optimistic concurrency with
     first-committer-wins; a lost race raises
     :class:`~repro.errors.ConflictError`, and retrying the transaction
-    succeeds.
+    succeeds.  Query options opt into client-side fault tolerance:
+    ``?retries=3&deadline_ms=5000&backoff_ms=50`` enables transparent
+    reconnect + retry with exactly-once commits (every mutation carries
+    an idempotency token the server journals); ``connect_timeout_ms``
+    and ``backoff_cap_ms`` tune the dial timeout and the backoff cap.
+    See ``docs/API.md`` and ``docs/ROBUSTNESS.md``.
 ``"relational"`` / ``"model"``
     legacy model names, still accepted positionally (``model="model"``
     gives the plain Section 2.4 interpreter without optimizing

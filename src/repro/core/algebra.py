@@ -18,6 +18,7 @@ The module also defines the generic value classes shared by all models:
 from __future__ import annotations
 
 from dataclasses import dataclass
+from time import monotonic as _monotonic
 from typing import Callable, Iterable, Iterator, Optional
 
 from repro.core.operators import ResolvedOp
@@ -42,7 +43,12 @@ from repro.core.types import (
     attrs_of,
     format_type,
 )
-from repro.errors import ExecutionError, ResourceLimitError, UpdateError
+from repro.errors import (
+    ExecutionError,
+    ResourceLimitError,
+    StatementTimeoutError,
+    UpdateError,
+)
 from repro.testing.faults import fault_point
 from repro import observe
 
@@ -273,10 +279,22 @@ class ResourceLimits:
     :class:`~repro.errors.ResourceLimitError`, so a pathological query
     degrades to a clean per-statement error instead of hanging or blowing
     the Python stack.
+
+    ``deadline`` is a wall-clock cancellation point (a
+    ``time.monotonic()`` instant): evaluation past it raises
+    :class:`~repro.errors.StatementTimeoutError`.  The server arms it per
+    statement from ``--statement-timeout-ms``; the clock is only read
+    every :data:`DEADLINE_CHECK_STEPS` evaluation steps so an unarmed or
+    rarely-firing deadline costs a bit test per step, not a syscall.
     """
 
     max_steps: Optional[int] = None
     max_depth: Optional[int] = None
+    deadline: Optional[float] = None
+
+
+DEADLINE_CHECK_STEPS = 64
+"""Evaluation steps between deadline clock reads (a power of two)."""
 
 
 class Evaluator:
@@ -316,6 +334,14 @@ class Evaluator:
         if limits.max_steps is not None and self._steps > limits.max_steps:
             raise ResourceLimitError(
                 f"evaluation exceeded the step budget of {limits.max_steps}"
+            )
+        if (
+            limits.deadline is not None
+            and self._steps % DEADLINE_CHECK_STEPS == 1
+            and _monotonic() > limits.deadline
+        ):
+            raise StatementTimeoutError(
+                "statement cancelled: evaluation ran past its deadline"
             )
         self._depth += 1
         try:
@@ -391,7 +417,17 @@ class Evaluator:
                 a.materialize() if isinstance(a, Stream) else a for a in args
             ]
         ctx = OpContext(self, self.algebra, resolved, term)
-        result = impl(ctx, *args)
+        try:
+            result = impl(ctx, *args)
+        except TypeError as exc:
+            # Polymorphic constants (``bottom``/``top`` unify with any
+            # ordered domain) can deliver a value a Python impl cannot
+            # operate on; surface that as a clean statement error instead
+            # of a raw TypeError escaping the evaluator.
+            raise ExecutionError(
+                f"operator {term.op} cannot be applied to "
+                f"{', '.join(repr(a) for a in args) or 'no arguments'}: {exc}"
+            ) from exc
         if observe.ENABLED and isinstance(result, Stream):
             # Operator-level tuple accounting: the stream an operator
             # returns is wrapped so every tuple it produces is counted

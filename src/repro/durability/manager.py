@@ -48,6 +48,7 @@ from repro.durability.wal import (
     WalRecord,
     WriteAheadLog,
     committed_statements,
+    committed_tokens,
     scan,
 )
 from repro.errors import SOSError
@@ -147,6 +148,7 @@ class DurabilityManager:
         self.epoch = 0
         self.active = False
         self.replayed_statements = 0
+        self.recovered_tokens: list[str] = []
         self._wal: Optional[WriteAheadLog] = None
         self._seq = 0
         self._unsynced_commits = 0
@@ -195,6 +197,7 @@ class DurabilityManager:
                         f"replay: {exc}"
                     ) from exc
             self.replayed_statements = len(replay)
+            self.recovered_tokens = committed_tokens(records)
             self._seq = max((r.seq for r in records), default=0)
             self._since_checkpoint = len(replay)
             self._wal = WriteAheadLog(
@@ -229,21 +232,30 @@ class DurabilityManager:
             self._wal.append(WalRecord(STMT, seq, text))
         return seq
 
-    def commit(self, seq: int) -> None:
+    def commit(self, seq: int, *, token: Optional[str] = None) -> None:
         """Make statement ``seq`` durable: append its commit record and
         fsync per the group-commit policy.  Inside :meth:`deferred` (an
-        atomic program), the record is held back until the program commits."""
+        atomic program), the record is held back until the program commits.
+
+        ``token`` stamps the commit record with the transaction's
+        idempotency token (see :class:`~repro.durability.wal.WalRecord`);
+        the MVCC engine passes it on the *last* statement of a
+        transaction, so recovery rebuilds the commit-outcome journal."""
         if self._deferred is not None:
             self._deferred.append(seq)
             return
-        self._commit_records([seq])
+        self._commit_records([seq], token=token)
         self._maybe_checkpoint()
 
-    def _commit_records(self, seqs: list[int]) -> None:
+    def _commit_records(
+        self, seqs: list[int], *, token: Optional[str] = None
+    ) -> None:
         assert self._wal is not None
         with self.tracer.span("wal.commit", statements=len(seqs)):
             for seq in seqs:
-                self._wal.append(WalRecord(COMMIT, seq))
+                self._wal.append(
+                    WalRecord(COMMIT, seq, token=token if seq == seqs[-1] else None)
+                )
             self._unsynced_commits += len(seqs)
             if self._unsynced_commits >= self.group_commit:
                 self._wal.sync()

@@ -72,22 +72,32 @@ class WalError(SOSError):
 
 @dataclass(slots=True)
 class WalRecord:
-    """One decoded WAL record."""
+    """One decoded WAL record.
+
+    ``token`` rides on ``commit`` records only: the client-supplied
+    idempotency token of the transaction the commit completed.  Recovery
+    collects these into the commit-outcome journal so a client retrying a
+    commit whose acknowledgement was lost — even across a server restart —
+    observes the original outcome instead of re-applying.
+    """
 
     type: str
     seq: int
     text: Optional[str] = None
+    token: Optional[str] = None
 
     def encode(self) -> bytes:
         payload: dict = {"t": self.type, "n": self.seq}
         if self.text is not None:
             payload["x"] = self.text
+        if self.token is not None:
+            payload["k"] = self.token
         return json.dumps(payload, separators=(",", ":")).encode("utf-8")
 
     @classmethod
     def decode(cls, payload: bytes) -> "WalRecord":
         doc = json.loads(payload.decode("utf-8"))
-        return cls(doc["t"], doc["n"], doc.get("x"))
+        return cls(doc["t"], doc["n"], doc.get("x"), doc.get("k"))
 
 
 def scan(path: str) -> tuple[list[WalRecord], int]:
@@ -130,6 +140,14 @@ def committed_statements(records: list[WalRecord]) -> list[WalRecord]:
     in log order — exactly what recovery replays."""
     committed = {r.seq for r in records if r.type == COMMIT}
     return [r for r in records if r.type == STMT and r.seq in committed]
+
+
+def committed_tokens(records: list[WalRecord]) -> list[str]:
+    """The idempotency tokens carried by ``commit`` records, in log
+    order — what recovery feeds back into the commit-outcome journal."""
+    return [
+        r.token for r in records if r.type == COMMIT and r.token is not None
+    ]
 
 
 class WriteAheadLog:

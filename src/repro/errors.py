@@ -87,6 +87,32 @@ class ResourceLimitError(ExecutionError):
     recursion depth) — the statement is aborted instead of hanging."""
 
 
+class StatementTimeoutError(ResourceLimitError):
+    """A statement ran past the server's ``--statement-timeout-ms``
+    deadline and was cancelled mid-evaluation.
+
+    Not retryable: a statement that blew its deadline once will very
+    likely blow it again; the client should rewrite the query (or the
+    operator should raise the limit) rather than loop.
+    """
+
+    retryable = False
+
+
+class ServerBusyError(SOSError):
+    """The server refused the request because it is shedding load — the
+    connection limit (``--max-connections``) was hit, or the server is
+    draining after SIGTERM.
+
+    Always retryable: nothing was executed.  A client with a retry policy
+    backs off and tries again; one without surfaces the error as-is.
+    """
+
+    def __init__(self, message: str):
+        super().__init__(message)
+        self.retryable = True
+
+
 class ConflictError(SOSError):
     """A transaction lost a first-committer-wins race.
 
@@ -107,6 +133,17 @@ class ConflictError(SOSError):
 class ProtocolError(SOSError):
     """A network session's transport failed: the server went away
     mid-request, sent a malformed frame, or the DSN could not be reached."""
+
+
+def is_retryable(exc: BaseException) -> bool:
+    """True for errors a client may safely retry: a lost
+    first-committer-wins race (:class:`ConflictError`), a load-shedding
+    refusal (:class:`ServerBusyError`), or a transport failure
+    (:class:`ProtocolError` — safe only when the request is idempotent or
+    carries an idempotency token; the network session guarantees that)."""
+    return bool(getattr(exc, "retryable", False)) or isinstance(
+        exc, ProtocolError
+    )
 
 
 class StatementError(SOSError):

@@ -11,18 +11,44 @@ cannot tell a network session from a local one by its surface.
 Transport failures (server gone, malformed frame, connection refused)
 raise :class:`~repro.errors.ProtocolError` — the one error class local
 sessions never raise.
+
+**Fault tolerance** is opted into through DSN query parameters::
+
+    repro://host:port?retries=3&deadline_ms=5000&backoff_ms=50
+
+With ``retries`` > 0 the session transparently reconnects (capped
+exponential backoff with jitter) and retries retryable failures:
+transport errors, :class:`~repro.errors.ServerBusyError` (load shedding /
+drain), and — for auto-committed statements — lost first-committer-wins
+races.  Every mutation then carries an idempotency token, so a retry
+whose original request *did* commit is answered from the server's
+commit-outcome journal instead of applying twice: exactly-once commits.
+With the default ``retries=0`` the wire behavior is exactly the
+pre-retry protocol — any failure surfaces immediately.
 """
 
 from __future__ import annotations
 
 import json
+import random
 import socket
 import time
 import uuid
+from dataclasses import dataclass, replace
 from typing import Callable, Optional
 
+from repro import telemetry
 from repro.api import Session
-from repro.errors import CatalogError, ProtocolError
+from repro.errors import (
+    CatalogError,
+    ConflictError,
+    ProtocolError,
+    ServerBusyError,
+    SOSError,
+    StatementError,
+    wrap_statement_error,
+)
+from repro.lang.parser import split_statements
 from repro.observe import Event, Tracer
 from repro.server.net import DEFAULT_PORT
 from repro.server.wire import (
@@ -34,11 +60,32 @@ from repro.server.wire import (
 from repro.system.sos_system import SystemResult
 
 
-def parse_dsn(dsn: str) -> tuple[str, int]:
-    """``repro://HOST[:PORT]`` → ``(host, port)``."""
-    if not dsn.startswith("repro://"):
-        raise CatalogError(f"not a repro:// DSN: {dsn!r}")
-    rest = dsn[len("repro://"):].rstrip("/")
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How a :class:`NetworkSession` behaves when the network misbehaves.
+
+    ``retries``
+        extra attempts after the first try (0 disables all retry and
+        reconnect machinery — the default, and the pre-retry behavior);
+    ``deadline_ms``
+        overall per-call budget covering every attempt and backoff sleep
+        (also the socket read timeout, so a hung server cannot park a
+        call forever);
+    ``backoff_ms`` / ``backoff_cap_ms``
+        first reconnect backoff and its exponential cap — the actual
+        sleep is jittered to half–full of the computed value;
+    ``connect_timeout``
+        seconds allowed for the TCP connect (DSN: ``connect_timeout_ms``).
+    """
+
+    retries: int = 0
+    deadline_ms: Optional[float] = None
+    backoff_ms: float = 50.0
+    backoff_cap_ms: float = 2000.0
+    connect_timeout: float = 10.0
+
+
+def _parse_hostport(rest: str, dsn: str) -> tuple[str, int]:
     if not rest:
         raise CatalogError("repro:// DSN needs a host, e.g. repro://localhost")
     host, sep, port_text = rest.rpartition(":")
@@ -50,12 +97,68 @@ def parse_dsn(dsn: str) -> tuple[str, int]:
         raise CatalogError(f"bad port in DSN {dsn!r}: {port_text!r}") from None
 
 
+def parse_dsn(dsn: str) -> tuple[str, int]:
+    """``repro://HOST[:PORT][?options]`` → ``(host, port)``."""
+    host, port, _ = parse_dsn_options(dsn)
+    return host, port
+
+
+def parse_dsn_options(dsn: str) -> tuple[str, int, RetryPolicy]:
+    """``repro://HOST[:PORT]?retries=3&deadline_ms=5000&backoff_ms=50``
+    → ``(host, port, policy)``.
+
+    Recognized options: ``retries``, ``deadline_ms``, ``backoff_ms``,
+    ``backoff_cap_ms``, ``connect_timeout_ms``.  An unknown option or a
+    malformed value raises :class:`~repro.errors.CatalogError`.
+    """
+    if not dsn.startswith("repro://"):
+        raise CatalogError(f"not a repro:// DSN: {dsn!r}")
+    rest = dsn[len("repro://"):]
+    rest, _, query = rest.partition("?")
+    host, port = _parse_hostport(rest.rstrip("/"), dsn)
+    policy = RetryPolicy()
+    for part in query.split("&") if query else ():
+        if not part:
+            continue
+        key, _, text = part.partition("=")
+        try:
+            if key == "retries":
+                policy = replace(policy, retries=max(0, int(text)))
+            elif key == "deadline_ms":
+                policy = replace(policy, deadline_ms=float(text))
+            elif key == "backoff_ms":
+                policy = replace(policy, backoff_ms=float(text))
+            elif key == "backoff_cap_ms":
+                policy = replace(policy, backoff_cap_ms=float(text))
+            elif key == "connect_timeout_ms":
+                policy = replace(policy, connect_timeout=float(text) / 1000.0)
+            else:
+                raise CatalogError(
+                    f"unknown DSN option {key!r} in {dsn!r} (known: retries, "
+                    "deadline_ms, backoff_ms, backoff_cap_ms, "
+                    "connect_timeout_ms)"
+                )
+        except ValueError:
+            raise CatalogError(
+                f"bad value for DSN option {key!r} in {dsn!r}: {text!r}"
+            ) from None
+    return host, port, policy
+
+
 class SocketClient:
     """One blocking connection: ``request(op, **args)`` → decoded result."""
 
-    def __init__(self, host: str, port: int, timeout: Optional[float] = None):
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        timeout: Optional[float] = None,
+        connect_timeout: float = 10.0,
+    ):
         try:
-            self._sock = socket.create_connection((host, port), timeout=10)
+            self._sock = socket.create_connection(
+                (host, port), timeout=connect_timeout
+            )
         except OSError as exc:
             raise ProtocolError(
                 f"cannot reach repro://{host}:{port}: {exc}"
@@ -63,6 +166,14 @@ class SocketClient:
         self._sock.settimeout(timeout)
         self._file = self._sock.makefile("rwb")
         self.address = (host, port)
+
+    def set_timeout(self, timeout: Optional[float]) -> None:
+        """Adjust the socket timeout for the next request (the session's
+        per-call deadline machinery)."""
+        try:
+            self._sock.settimeout(timeout)
+        except OSError:
+            pass  # socket already dead; the next request reports it
 
     def request(self, op: str, **args):
         frame = {"op": op, **args}
@@ -104,6 +215,10 @@ class SocketClient:
             pass
 
 
+def _new_token() -> str:
+    return uuid.uuid4().hex
+
+
 class NetworkSession(Session):
     """A :class:`~repro.api.Session` over a socket to a running server.
 
@@ -114,22 +229,70 @@ class NetworkSession(Session):
     session would.  ``close()`` is idempotent and keeps the connection
     usable for queries — the closed-session contract — while
     :meth:`disconnect` drops the socket itself.
+
+    With a :class:`RetryPolicy` (``?retries=...`` on the DSN) the session
+    reconnects and retries by itself — see the module docstring for the
+    exactly-once machinery.  An open transaction's statements are
+    buffered client-side: after a reconnect they are replayed onto a
+    fresh server transaction (the dropped connection's workspace was
+    discarded wholesale, so nothing applies twice), or the transaction is
+    aborted with a clear error if the replay cannot be reproduced.
     """
 
-    __slots__ = ("_client", "_dsn", "_closed", "_tracing", "_tracer", "_trace_id")
+    __slots__ = (
+        "_client",
+        "_dsn",
+        "_closed",
+        "_tracing",
+        "_tracer",
+        "_trace_id",
+        "_policy",
+        "_host",
+        "_port",
+        "_timeout",
+        "_in_txn",
+        "_txn_statements",
+    )
 
-    def __init__(self, client: SocketClient, dsn: str):
+    def __init__(
+        self,
+        client: SocketClient,
+        dsn: str,
+        policy: Optional[RetryPolicy] = None,
+    ):
         self._client = client
         self._dsn = dsn
         self._closed = False
         self._tracing = False
         self._tracer = Tracer()
         self._trace_id = uuid.uuid4().hex[:16]
+        self._policy = policy if policy is not None else RetryPolicy()
+        self._host, self._port = client.address
+        self._timeout = (
+            None
+            if self._policy.deadline_ms is None
+            else self._policy.deadline_ms / 1000.0
+        )
+        self._in_txn = False
+        self._txn_statements: list[str] = []
 
     @classmethod
     def open(cls, dsn: str) -> "NetworkSession":
-        host, port = parse_dsn(dsn)
-        return cls(SocketClient(host, port), f"repro://{host}:{port}")
+        host, port, policy = parse_dsn_options(dsn)
+        timeout = (
+            None if policy.deadline_ms is None else policy.deadline_ms / 1000.0
+        )
+        client = SocketClient(
+            host,
+            port,
+            timeout=timeout,
+            connect_timeout=policy.connect_timeout,
+        )
+        return cls(client, f"repro://{host}:{port}", policy=policy)
+
+    @property
+    def retry_policy(self) -> RetryPolicy:
+        return self._policy
 
     # --------------------------------------------------------------- tracing
 
@@ -203,45 +366,349 @@ class NetworkSession(Session):
             self._replay_spans(frame, t0, time.perf_counter() - t0)
         return frame
 
+    # ------------------------------------------------------ retry machinery
+
+    def _deadline(self) -> Optional[float]:
+        if self._policy.deadline_ms is None:
+            return None
+        return time.monotonic() + self._policy.deadline_ms / 1000.0
+
+    @staticmethod
+    def _out_of_time(deadline: Optional[float]) -> bool:
+        return deadline is not None and time.monotonic() >= deadline
+
+    def _arm_timeout(self, deadline: Optional[float]) -> None:
+        if deadline is not None:
+            self._client.set_timeout(
+                max(0.05, deadline - time.monotonic())
+            )
+
+    @staticmethod
+    def _count_retry(kind: str) -> None:
+        if telemetry.ENABLED:
+            telemetry.incr(f"client.retries.{kind}")
+
+    def _backoff(self, attempt: int, deadline: Optional[float]) -> None:
+        """Capped exponential backoff with half-to-full jitter."""
+        policy = self._policy
+        delay_ms = min(
+            policy.backoff_cap_ms, policy.backoff_ms * (2 ** (attempt - 1))
+        )
+        delay = delay_ms / 1000.0 * (0.5 + random.random() / 2.0)
+        if deadline is not None:
+            delay = min(delay, max(0.0, deadline - time.monotonic()))
+        if delay > 0:
+            time.sleep(delay)
+
+    def _reconnect(self, *, replay: bool = True) -> None:
+        """Drop the dead socket, dial again, and restore session state —
+        closed flag, tracing flag, and (when ``replay``) the open
+        transaction's buffered statements."""
+        self._client.close()
+        self._client = SocketClient(
+            self._host,
+            self._port,
+            timeout=self._timeout,
+            connect_timeout=self._policy.connect_timeout,
+        )
+        if telemetry.ENABLED:
+            telemetry.incr("client.reconnects")
+        if self._closed:
+            self._client.request("close")
+        if self._tracing:
+            self._client.request("set_tracing", enabled=True)
+        if replay and self._in_txn:
+            self._replay_transaction()
+
+    def _replay_transaction(self) -> None:
+        """Rebuild the open transaction on a fresh connection.  The old
+        connection's server-side workspace was rolled back wholesale when
+        it dropped, so re-running the buffered statements applies each
+        exactly once.  A statement that no longer reproduces aborts the
+        transaction with a non-retryable error."""
+        self._client.request("begin")
+        for source in self._txn_statements:
+            try:
+                self._client.request("run_one", source=source)
+            except (ProtocolError, ServerBusyError):
+                raise  # transport trouble again; the retry loop handles it
+            except SOSError as exc:
+                self._end_txn()
+                raise CatalogError(
+                    "open transaction aborted: replaying its buffered "
+                    f"statements after reconnect failed ({exc})"
+                ) from exc
+
+    def _end_txn(self) -> None:
+        self._in_txn = False
+        self._txn_statements = []
+
+    def _retryable(self, send: Callable[[], object], *, replay: bool = True):
+        """Run ``send`` with transport/busy retries and reconnects.  Used
+        for requests that are idempotent by nature (queries, reads,
+        in-transaction statements — replayed workspaces never double
+        apply)."""
+        deadline = self._deadline()
+        attempt = 0
+        pending_reconnect = False
+        while True:
+            try:
+                if pending_reconnect:
+                    self._reconnect(replay=replay)
+                    pending_reconnect = False
+                self._arm_timeout(deadline)
+                return send()
+            except (ServerBusyError, ProtocolError) as exc:
+                attempt += 1
+                if attempt > self._policy.retries or self._out_of_time(
+                    deadline
+                ):
+                    raise
+                self._count_retry(
+                    "busy" if isinstance(exc, ServerBusyError) else "transport"
+                )
+                self._backoff(attempt, deadline)
+                pending_reconnect = True
+
+    def _retry_mutation(self, send: Callable[[str], object]):
+        """Run an auto-committing mutation with an idempotency token.
+
+        Transport/busy retries resend the *same* token — if the original
+        attempt committed, the server's journal answers instead of
+        re-applying.  A lost first-committer-wins race retries with a
+        *fresh* token (the old token's recorded outcome is the conflict
+        itself)."""
+        deadline = self._deadline()
+        token = _new_token()
+        attempt = 0
+        pending_reconnect = False
+        while True:
+            try:
+                if pending_reconnect:
+                    self._reconnect(replay=False)
+                    pending_reconnect = False
+                self._arm_timeout(deadline)
+                return send(token)
+            except ConflictError:
+                attempt += 1
+                if attempt > self._policy.retries or self._out_of_time(
+                    deadline
+                ):
+                    raise
+                self._count_retry("conflict")
+                token = _new_token()
+                self._backoff(attempt, deadline)
+            except (ServerBusyError, ProtocolError) as exc:
+                attempt += 1
+                if attempt > self._policy.retries or self._out_of_time(
+                    deadline
+                ):
+                    raise
+                self._count_retry(
+                    "busy" if isinstance(exc, ServerBusyError) else "transport"
+                )
+                self._backoff(attempt, deadline)
+                pending_reconnect = True
+
     # ------------------------------------------------------------ execution
 
     def run(self, source: str, atomic: bool = False) -> list[SystemResult]:
-        frames = self._traced_request("run", source=source, atomic=atomic)
+        if self._policy.retries == 0:
+            return self._decode_run(
+                self._traced_request("run", source=source, atomic=atomic)
+            )
+        if self._in_txn:
+            results = self._decode_run(
+                self._retryable(
+                    lambda: self._traced_request(
+                        "run", source=source, atomic=atomic
+                    )
+                )
+            )
+            self._buffer_txn_chunks(source, results)
+            return results
+        if atomic:
+            # One request, one token: the whole program commits (and is
+            # journaled) as a unit.
+            return self._decode_run(
+                self._retry_mutation(
+                    lambda token: self._traced_request(
+                        "run", source=source, atomic=True, token=token
+                    )
+                )
+            )
+        # Auto-commit program: split client-side so each chunk carries its
+        # own idempotency token — a mid-program failure then retries only
+        # the chunk in flight, never an already-committed one.
+        results = []
+        for index, chunk in enumerate(split_statements(source)):
+            try:
+                results.append(self.run_one(chunk))
+            except StatementError as exc:
+                if exc.index is None:
+                    exc.index = index
+                if exc.source is None:
+                    exc.source = chunk
+                raise
+            except SOSError as exc:
+                raise wrap_statement_error(
+                    exc, index=index, source=chunk
+                ) from exc
+        return results
+
+    @staticmethod
+    def _decode_run(frames) -> list[SystemResult]:
         if isinstance(frames, dict):  # trace-wrapped response
             frames = frames["results"]
         return [decode_result(f) for f in frames]
 
+    def _buffer_txn_chunks(self, source: str, results) -> None:
+        """Remember the mutating chunks of a successful in-transaction
+        program for post-reconnect replay."""
+        chunks = split_statements(source)
+        for chunk, result in zip(chunks, results):
+            if result.kind != "query":
+                self._txn_statements.append(chunk)
+
     def run_one(self, source: str) -> SystemResult:
-        return decode_result(self._traced_request("run_one", source=source))
+        if self._policy.retries == 0:
+            return decode_result(
+                self._traced_request("run_one", source=source)
+            )
+        if self._in_txn:
+            result = decode_result(
+                self._retryable(
+                    lambda: self._traced_request("run_one", source=source)
+                )
+            )
+            if result.kind != "query":
+                self._txn_statements.append(source)
+            return result
+        if source.lstrip().startswith("query"):
+            return decode_result(
+                self._retryable(
+                    lambda: self._traced_request("run_one", source=source),
+                    replay=False,
+                )
+            )
+        return decode_result(
+            self._retry_mutation(
+                lambda token: self._traced_request(
+                    "run_one", source=source, token=token
+                )
+            )
+        )
 
     def explain(self, source: str, *, analyze: bool = False) -> dict:
         return decode_value(
-            self._client.request("explain", source=source, analyze=analyze)
+            self._read_request("explain", source=source, analyze=analyze)
         )
 
     def lint(self):
-        return decode_lint_report(self._client.request("lint"))
+        return decode_lint_report(self._read_request("lint"))
+
+    def _read_request(self, op: str, **args):
+        if self._policy.retries == 0:
+            return self._client.request(op, **args)
+        return self._retryable(lambda: self._client.request(op, **args))
 
     # --------------------------------------------------------- transactions
 
     def begin(self) -> None:
         """Open an explicit transaction (snapshot isolation; commit wins
         or raises :class:`~repro.errors.ConflictError`)."""
-        self._client.request("begin")
+        if self._policy.retries == 0:
+            self._client.request("begin")
+        else:
+            self._retryable(
+                lambda: self._client.request("begin"), replay=False
+            )
+        self._in_txn = True
+        self._txn_statements = []
 
     def commit(self) -> None:
-        self._traced_request("commit")
+        if self._policy.retries == 0 or not self._in_txn:
+            try:
+                self._traced_request("commit")
+            finally:
+                self._end_txn()
+            return
+        deadline = self._deadline()
+        token = _new_token()
+        attempt = 0
+        resolve = False
+        while True:
+            try:
+                if resolve:
+                    # The commit request itself failed mid-flight; find
+                    # out whether it landed before doing anything else.
+                    self._reconnect(replay=False)
+                    self._arm_timeout(deadline)
+                    state = self._client.request("txn_status", token=token)[
+                        "state"
+                    ]
+                    if state == "committed":
+                        self._end_txn()
+                        return
+                    if state == "conflict":
+                        self._end_txn()
+                        raise ConflictError(
+                            "transaction lost the first-committer-wins race "
+                            "(resolved from the commit journal); retry on a "
+                            "fresh transaction"
+                        )
+                    # unknown: it never committed — rebuild the
+                    # transaction and commit again under the same token.
+                    self._replay_transaction()
+                    resolve = False
+                self._arm_timeout(deadline)
+                self._traced_request("commit", token=token)
+                self._end_txn()
+                return
+            except ConflictError:
+                self._end_txn()
+                raise
+            except (ServerBusyError, ProtocolError) as exc:
+                attempt += 1
+                if attempt > self._policy.retries or self._out_of_time(
+                    deadline
+                ):
+                    self._end_txn()
+                    raise
+                self._count_retry(
+                    "busy" if isinstance(exc, ServerBusyError) else "transport"
+                )
+                self._backoff(attempt, deadline)
+                resolve = True
 
     def rollback(self) -> None:
-        self._client.request("rollback")
+        if self._policy.retries == 0 or not self._in_txn:
+            try:
+                self._client.request("rollback")
+            finally:
+                self._end_txn()
+            return
+        try:
+            self._client.request("rollback")
+        except (ProtocolError, ServerBusyError):
+            # The server rolls an open transaction back the moment its
+            # connection drops (and a draining server rolls back idle
+            # transactions), so a lost rollback has still rolled back —
+            # reconnect opportunistically and report success.
+            try:
+                self._reconnect(replay=False)
+            except (ProtocolError, ServerBusyError):
+                pass
+        finally:
+            self._end_txn()
 
     # ------------------------------------------------------------ store-wide
 
     def checkpoint(self) -> int:
-        return self._client.request("checkpoint")
+        return self._read_request("checkpoint")
 
     def dump(self) -> str:
-        return self._client.request("dump")
+        return self._read_request("dump")
 
     def set_tracing(self, enabled: bool = True) -> None:
         """Toggle metric collection for this session's statements."""
@@ -255,7 +722,7 @@ class NetworkSession(Session):
     def ping(self) -> dict:
         """Server/session status: engine metrics (``mvcc.*``), this
         session's statement counters, and flags."""
-        return self._client.request("ping")
+        return self._read_request("ping")
 
     def server_metrics(self) -> dict:
         """The server's process-wide telemetry registry snapshot:
@@ -263,7 +730,7 @@ class NetworkSession(Session):
         section (uptime, sessions, recent slow queries).  The same data
         the ``--metrics-port`` exposition endpoint and ``python -m repro
         top`` render."""
-        return self._client.request("metrics")
+        return self._read_request("metrics")
 
     # ------------------------------------------------------------- lifecycle
 
@@ -279,6 +746,7 @@ class NetworkSession(Session):
         except ProtocolError:
             pass  # server already gone: nothing left to close
         self._closed = True
+        self._end_txn()
 
     def disconnect(self) -> None:
         """Drop the socket (an open transaction is rolled back server-side)."""

@@ -49,11 +49,13 @@ from __future__ import annotations
 
 import threading
 import time
+from collections import OrderedDict
 from contextlib import contextmanager
 from typing import Callable, Optional
 
 from repro import observe, telemetry
 from repro.catalog.database import DatabaseObject
+from repro.core.algebra import ResourceLimits
 from repro.errors import CatalogError, ConflictError, SOSError, StatementError, wrap_statement_error
 from repro.lang.parser import split_statements
 from repro.observe import Event, Tracer
@@ -120,6 +122,160 @@ class MVCCTransaction:
         return obj_writes, obj_drops, alias_writes, alias_drops
 
 
+class CommitJournal:
+    """A bounded journal of commit outcomes, keyed by idempotency token.
+
+    The network client stamps every transaction (and every auto-committed
+    statement) with a token; the engine records the commit's outcome here
+    — ``committed`` or ``conflict`` — and the socket server attaches the
+    encoded response frame of the committing request.  A *retried* request
+    carrying a token the journal already knows therefore returns the
+    original outcome instead of double-applying or spuriously conflicting:
+    exactly-once commits across ack-lost disconnects.
+
+    The ``committed`` outcomes are additionally persisted in the WAL
+    commit records, so the journal survives a server restart (response
+    frames do not — a post-recovery retry gets a synthesized journal-hit
+    frame, still exactly-once).  The journal is bounded: the oldest
+    entries are evicted past ``limit``, which is why tokens are ephemeral
+    (a retry window, not an audit log).
+
+    A token's *first* attempt claims it with a ``pending`` entry
+    (:meth:`begin_attempt`), so a retry racing the still-executing
+    original — a dropped connection retries faster than a slow statement
+    commits — blocks on the pending event instead of executing a second
+    time.  An attempt that fails before any commit outcome exists
+    (statement error, closed session) must :meth:`abandon` its claim so a
+    later retry can execute for real.
+    """
+
+    __slots__ = ("_lock", "_entries", "limit", "hits")
+
+    def __init__(self, limit: int = 1024):
+        self._lock = threading.Lock()
+        self._entries: OrderedDict[str, dict] = OrderedDict()
+        self.limit = limit
+        self.hits = 0
+
+    def record(
+        self,
+        token: Optional[str],
+        outcome: str,
+        *,
+        names: tuple[str, ...] = (),
+    ) -> None:
+        """Record the outcome of the commit identified by ``token``
+        (no-op without a token).  Resolves a pending claim, waking any
+        retries blocked on it."""
+        if token is None:
+            return
+        with self._lock:
+            previous = self._entries.get(token)
+            event = previous.get("event") if previous is not None else None
+            self._entries[token] = {
+                "outcome": outcome,
+                "names": tuple(names),
+                "response": None,
+            }
+            self._entries.move_to_end(token)
+            while len(self._entries) > self.limit:
+                self._entries.popitem(last=False)
+        if event is not None:
+            event.set()
+
+    def begin_attempt(self, token: Optional[str]) -> tuple[str, Optional[dict]]:
+        """Claim ``token`` for execution, atomically.
+
+        Returns one of:
+
+        - ``("new", None)`` — unknown token, now claimed ``pending``;
+          the caller executes and must end with :meth:`record` (via the
+          commit path) or :meth:`abandon`;
+        - ``("pending", event)`` — another attempt is mid-flight; wait on
+          the :class:`threading.Event` and call again;
+        - ``("done", entry)`` — the outcome is already recorded (counted
+          as a journal hit); replay it.
+        """
+        if token is None:
+            return "new", None
+        with self._lock:
+            entry = self._entries.get(token)
+            if entry is None:
+                self._entries[token] = {
+                    "outcome": "pending",
+                    "names": (),
+                    "response": None,
+                    "event": threading.Event(),
+                }
+                while len(self._entries) > self.limit:
+                    self._entries.popitem(last=False)
+                return "new", None
+            if entry["outcome"] == "pending":
+                return "pending", entry["event"]
+            self.hits += 1
+            found = {k: v for k, v in entry.items() if k != "event"}
+        if telemetry.ENABLED:
+            telemetry.incr("mvcc.journal_hits")
+        return "done", found
+
+    def abandon(self, token: Optional[str]) -> None:
+        """Release a pending claim whose attempt failed before reaching a
+        commit outcome (no-op once an outcome is recorded)."""
+        if token is None:
+            return
+        event = None
+        with self._lock:
+            entry = self._entries.get(token)
+            if entry is not None and entry["outcome"] == "pending":
+                del self._entries[token]
+                event = entry.get("event")
+        if event is not None:
+            event.set()
+
+    def attach_response(self, token: Optional[str], response) -> None:
+        """Remember the encoded response frame the committing request
+        produced, so a retry can return it verbatim."""
+        if token is None:
+            return
+        with self._lock:
+            entry = self._entries.get(token)
+            if entry is not None:
+                entry["response"] = response
+
+    def get(self, token: Optional[str]) -> Optional[dict]:
+        """The recorded entry for ``token`` (bumps the hit counter), or
+        ``None`` — the retried-request check.  Pending claims read as
+        misses; use :meth:`begin_attempt` to coordinate with them."""
+        if token is None:
+            return None
+        with self._lock:
+            entry = self._entries.get(token)
+            if entry is None or entry["outcome"] == "pending":
+                return None
+            self.hits += 1
+            found = {k: v for k, v in entry.items() if k != "event"}
+        if telemetry.ENABLED:
+            telemetry.incr("mvcc.journal_hits")
+        return found
+
+    def outcome(self, token: Optional[str]) -> Optional[str]:
+        """The recorded outcome for ``token`` without counting a hit
+        (the ``txn_status`` probe).  A pending attempt reads as unknown —
+        by the time the client can ask, its connection's attempt has
+        already died, and the rolled-back claim will be abandoned."""
+        if token is None:
+            return None
+        with self._lock:
+            entry = self._entries.get(token)
+            if entry is None or entry["outcome"] == "pending":
+                return None
+            return entry["outcome"]
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+
 class MVCCEngine:
     """The shared database plus the version bookkeeping of the store.
 
@@ -138,6 +294,8 @@ class MVCCEngine:
         checkpoint_interval: Optional[int] = None,
         optimizer=None,
         tracer: Optional[Tracer] = None,
+        statement_timeout_ms: Optional[float] = None,
+        journal_limit: int = 1024,
     ):
         self.system = build_relational_system(optimizer, tracer=tracer)
         self.database = self.system.database
@@ -160,6 +318,14 @@ class MVCCEngine:
                 tracer=self.tracer,
             )
             self.durability.attach(self.system)
+        self.statement_timeout_ms = statement_timeout_ms
+        self.journal = CommitJournal(journal_limit)
+        if self.durability is not None:
+            # Recovery read the WAL; re-arm the journal with the tokens of
+            # every committed transaction so retried commits that straddle
+            # a server restart still observe their original outcome.
+            for token in self.durability.recovered_tokens:
+                self.journal.record(token, "committed")
         self.commit_version = 0
         self.versions: dict[str, int] = {}
         self.alias_versions: dict[str, int] = {}
@@ -281,17 +447,30 @@ class MVCCEngine:
 
     def _run_plain(self, chunk: str, *, collect: bool) -> SystemResult:
         """One statement through the ordinary pipeline, with per-statement
-        WAL logging disabled (the engine logs at transaction commit)."""
+        WAL logging disabled (the engine logs at transaction commit) and —
+        when ``statement_timeout_ms`` is armed — a per-statement
+        evaluation deadline that cancels runaway statements with
+        :class:`~repro.errors.StatementTimeoutError`."""
         system = self.system
         saved_dur = system.durability
         saved_collect = system.tracing
+        evaluator = self.database.evaluator
+        saved_limits = evaluator.limits
         system.durability = None
         if collect != saved_collect:
             system.set_tracing(collect)
+        if self.statement_timeout_ms is not None:
+            base = saved_limits if saved_limits is not None else ResourceLimits()
+            evaluator.limits = ResourceLimits(
+                base.max_steps,
+                base.max_depth,
+                deadline=time.monotonic() + self.statement_timeout_ms / 1000.0,
+            )
         try:
             return system.run_one(chunk)
         finally:
             system.durability = saved_dur
+            evaluator.limits = saved_limits
             if collect != saved_collect:
                 system.set_tracing(saved_collect)
 
@@ -353,6 +532,7 @@ class MVCCEngine:
         *,
         sync: bool = True,
         recorder: Optional[Callable[[Event], None]] = None,
+        token: Optional[str] = None,
     ) -> None:
         """First-committer-wins check, publish, write-ahead log.
 
@@ -360,6 +540,11 @@ class MVCCEngine:
         the OS) but not fsynced — the caller must
         :meth:`sync_wal` before acknowledging the client; the socket server
         batches that fsync across sessions.
+
+        ``token`` is the transaction's idempotency token: the outcome
+        (committed or conflicted) is recorded in the commit-outcome
+        :class:`CommitJournal` under it, and committed outcomes ride the
+        last WAL commit record so the journal survives recovery.
         """
         with self._lock:
             self._require_open()
@@ -383,6 +568,7 @@ class MVCCEngine:
                 txn.state = "aborted"
                 self._transaction_closed()
                 self._bump("mvcc.conflicts")
+                self.journal.record(token, "conflict", names=tuple(conflicts))
                 raise ConflictError(
                     "transaction lost the first-committer-wins race on "
                     + ", ".join(conflicts)
@@ -400,12 +586,13 @@ class MVCCEngine:
                 if dur is not None and txn.statements:
                     seqs = [dur.log_statement(text) for text in txn.statements]
                     for seq in seqs:
-                        dur.commit(seq)
+                        dur.commit(seq, token=token if seq == seqs[-1] else None)
                     if sync:
                         dur.flush()
                 txn.state = "committed"
                 self._transaction_closed()
                 self._bump("mvcc.commits")
+                self.journal.record(token, "committed")
             if telemetry.ENABLED:
                 telemetry.observe_value(
                     "mvcc.commit_seconds", time.perf_counter() - start
@@ -532,12 +719,12 @@ class EngineSession:
             raise CatalogError("a transaction is already open on this session")
         self._txn = self.engine.begin()
 
-    def commit(self, *, sync: bool = True, recorder=None) -> None:
+    def commit(self, *, sync: bool = True, recorder=None, token=None) -> None:
         if self._txn is None:
             raise CatalogError("no transaction is open on this session")
         txn, self._txn = self._txn, None
         try:
-            self.engine.commit(txn, sync=sync, recorder=recorder)
+            self.engine.commit(txn, sync=sync, recorder=recorder, token=token)
         except ConflictError:
             self.counters["conflicts"] += 1
             raise
@@ -558,7 +745,7 @@ class EngineSession:
     # ------------------------------------------------------------- execution
 
     def run_one(
-        self, source: str, *, sync: bool = True, recorder=None
+        self, source: str, *, sync: bool = True, recorder=None, token=None
     ) -> SystemResult:
         statement_is_query = source.lstrip().startswith("query")
         if not statement_is_query:
@@ -587,7 +774,7 @@ class EngineSession:
             self.engine.rollback(txn)
             raise
         try:
-            self.engine.commit(txn, sync=sync, recorder=recorder)
+            self.engine.commit(txn, sync=sync, recorder=recorder, token=token)
         except ConflictError:
             self.counters["conflicts"] += 1
             raise
@@ -610,6 +797,7 @@ class EngineSession:
         *,
         sync: bool = True,
         recorder=None,
+        token=None,
     ) -> list[SystemResult]:
         chunks = split_statements(source)
         if atomic:
@@ -627,7 +815,7 @@ class EngineSession:
             except BaseException:
                 self.rollback()
                 raise
-            self.commit(sync=sync)
+            self.commit(sync=sync, token=token)
             return results
         return [
             self._run_indexed(chunk, index, sync=sync, recorder=recorder)

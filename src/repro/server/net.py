@@ -32,12 +32,18 @@ from __future__ import annotations
 
 import asyncio
 import json
+import signal
 import threading
 import time
 from typing import Optional
 
 from repro import telemetry
-from repro.errors import ProtocolError
+from repro.errors import (
+    ConflictError,
+    ProtocolError,
+    ServerBusyError,
+    StatementTimeoutError,
+)
 from repro.lang.parser import split_statements
 from repro.observe import SpanRecorder
 from repro.server.mvcc import EngineSession, MVCCEngine
@@ -51,6 +57,10 @@ from repro.testing.faults import InjectedFault, fault_point
 
 #: The default server port ("SOS" on a phone keypad, close enough: 7464).
 DEFAULT_PORT = 7464
+
+#: Sentinel for "no journal entry; execute for real" — ``None`` is a valid
+#: replayed response (a committed ``commit`` returns ``None``).
+_MISS = object()
 
 
 class GroupCommitBatcher:
@@ -116,8 +126,20 @@ CORE_METRIC_FAMILIES = {
         "wal.fsyncs",
         "group_commit.batches",
         "group_commit.synced",
+        "server.rejected_connections",
+        "server.statement_timeouts",
+        "mvcc.journal_hits",
+        "client.reconnects",
+        "client.retries.transport",
+        "client.retries.conflict",
+        "client.retries.busy",
     ),
-    "gauges": ("server.active_sessions", "mvcc.open_transactions"),
+    "gauges": (
+        "server.active_sessions",
+        "mvcc.open_transactions",
+        "server.draining",
+        "server.drain_seconds",
+    ),
     "histograms": (
         "server.statement_seconds",
         "mvcc.commit_seconds",
@@ -146,17 +168,23 @@ class SOSServer:
         allow_reset: bool = False,
         slow_query_ms: Optional[float] = None,
         slow_query_log: Optional[str] = None,
+        max_connections: Optional[int] = None,
+        statement_timeout_ms: Optional[float] = None,
     ):
         self._config = {
             "data_dir": data_dir,
             "group_commit": group_commit,
             "checkpoint_interval": checkpoint_interval,
+            "statement_timeout_ms": statement_timeout_ms,
         }
         self.engine = MVCCEngine(**self._config)
         self.allow_reset = allow_reset
+        self.max_connections = max_connections
         self.batcher = GroupCommitBatcher(lambda: self.engine)
         self.connections = 0
         self.active_sessions = 0
+        self.rejected_connections = 0
+        self.draining = False
         self.started_at = time.time()
         if slow_query_ms is None and slow_query_log is not None:
             slow_query_ms = 0.0  # a log path alone means "log everything"
@@ -168,6 +196,8 @@ class SOSServer:
         self._server: Optional[asyncio.AbstractServer] = None
         self._metrics_server: Optional[asyncio.AbstractServer] = None
         self._handlers: set[asyncio.Task] = set()
+        self._live_sessions: set[EngineSession] = set()
+        self._inflight = 0
         telemetry.enable()
         telemetry.REGISTRY.declare(**CORE_METRIC_FAMILIES)
 
@@ -190,6 +220,34 @@ class SOSServer:
         async with self._server:
             await self._server.serve_forever()
 
+    async def drain(self, timeout: float = 10.0) -> float:
+        """Graceful shutdown, phase one: stop admitting work, finish what
+        is already running, make it durable.
+
+        New connections — and new requests on existing connections — are
+        refused with a retryable :class:`~repro.errors.ServerBusyError`
+        while the flag is up; requests already dispatched run to
+        completion (their commits are acknowledged durably), and
+        transactions left idle on connected sessions are rolled back
+        (their buffered statements never reach the WAL).  Returns the
+        drain duration in seconds; ``timeout`` bounds the wait for
+        in-flight requests.
+        """
+        start = time.perf_counter()
+        self.draining = True
+        if telemetry.ENABLED:
+            telemetry.gauge("server.draining", 1)
+        deadline = start + timeout
+        while self._inflight > 0 and time.perf_counter() < deadline:
+            await asyncio.sleep(0.005)
+        for session in tuple(self._live_sessions):
+            session.abort_open_transaction()
+        await asyncio.to_thread(self.engine.sync_wal)
+        elapsed = time.perf_counter() - start
+        if telemetry.ENABLED:
+            telemetry.gauge("server.drain_seconds", elapsed)
+        return elapsed
+
     async def stop(self) -> None:
         if self._server is not None:
             self._server.close()
@@ -208,9 +266,58 @@ class SOSServer:
 
     # ------------------------------------------------------------ per-client
 
+    def _admission_refusal(self) -> Optional[ServerBusyError]:
+        """The load-shedding check a new connection must pass."""
+        if self.draining:
+            return ServerBusyError(
+                "server is draining for shutdown; retry against the "
+                "restarted server"
+            )
+        if (
+            self.max_connections is not None
+            and self.active_sessions >= self.max_connections
+        ):
+            return ServerBusyError(
+                f"server is at its connection limit "
+                f"({self.max_connections}); retry later"
+            )
+        return None
+
+    async def _refuse(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+        refusal: ServerBusyError,
+    ) -> None:
+        """Answer the connection's first request with a retryable busy
+        error, then close — no engine session is ever created."""
+        self.rejected_connections += 1
+        if telemetry.ENABLED:
+            telemetry.incr("server.rejected_connections")
+        frame = json.dumps(
+            {"ok": False, "error": encode_error(refusal)}
+        ).encode() + b"\n"
+        try:
+            line = await reader.readline()
+            if line:
+                writer.write(frame)
+                await writer.drain()
+        except (ConnectionError, OSError, asyncio.CancelledError):
+            pass
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, OSError, RuntimeError):
+                pass
+
     async def _handle(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
+        refusal = self._admission_refusal()
+        if refusal is not None:
+            await self._refuse(reader, writer, refusal)
+            return
         self.connections += 1
         self.active_sessions += 1
         if telemetry.ENABLED:
@@ -220,6 +327,7 @@ class SOSServer:
         if task is not None:
             self._handlers.add(task)
         session = self.engine.session()
+        self._live_sessions.add(session)
         try:
             while True:
                 try:
@@ -229,20 +337,34 @@ class SOSServer:
                 if not line:
                     break  # client went away
                 try:
+                    if self.draining:
+                        raise ServerBusyError(
+                            "server is draining for shutdown; the request "
+                            "was not executed"
+                        )
                     request = json.loads(line)
-                    response = await self._dispatch(session, request)
+                    self._inflight += 1
+                    try:
+                        response = await self._dispatch(session, request)
+                    finally:
+                        self._inflight -= 1
                 except InjectedFault:
                     # server.ack (or a fault plan armed over the wire)
                     # fired: drop the connection without answering, like a
                     # crash between commit and acknowledgement.
                     break
                 except Exception as exc:  # noqa: BLE001 — encode, don't die
+                    if telemetry.ENABLED and isinstance(
+                        exc, StatementTimeoutError
+                    ):
+                        telemetry.incr("server.statement_timeouts")
                     response = {"ok": False, "error": encode_error(exc)}
                 writer.write(json.dumps(response).encode() + b"\n")
                 await writer.drain()
         finally:
             if task is not None:
                 self._handlers.discard(task)
+            self._live_sessions.discard(session)
             self.active_sessions -= 1
             if telemetry.ENABLED:
                 telemetry.gauge("server.active_sessions", self.active_sessions)
@@ -336,6 +458,8 @@ class SOSServer:
             "durable": self.engine.durable,
             "uptime_seconds": snap["gauges"]["server.uptime_seconds"],
             "connections": self.connections,
+            "rejected_connections": self.rejected_connections,
+            "draining": self.draining,
             "active_sessions": self.active_sessions,
             "sessions": self.engine._sessions,
             "engine": dict(self.engine.metrics),
@@ -349,63 +473,181 @@ class SOSServer:
 
     # ------------------------------------------------------------------- ops
 
+    async def _claim_token(self, session, token: Optional[str], synthesized):
+        """The exactly-once check: claim ``token`` for execution, or
+        replay its recorded outcome.
+
+        Returns :data:`_MISS` when this request holds a fresh claim and
+        must execute (ending in a commit outcome or
+        ``journal.abandon``).  Otherwise the outcome already exists (or
+        an earlier attempt is still executing, in which case this waits
+        for it): a recorded conflict re-raises the original
+        :class:`~repro.errors.ConflictError`; a recorded commit returns
+        the original response frame, or ``synthesized`` when the frame
+        did not survive a server restart — made durable before re-acking.
+        """
+        while True:
+            status, entry = self.engine.journal.begin_attempt(token)
+            if status == "new":
+                return _MISS
+            if status == "pending":
+                # The original attempt is still executing (a retry can
+                # outrun a slow statement); wait for its outcome rather
+                # than executing a second time.
+                await asyncio.to_thread(entry.wait, 30.0)
+                continue
+            if entry["outcome"] == "conflict":
+                names = tuple(entry["names"])
+                raise ConflictError(
+                    "transaction lost the first-committer-wins race on "
+                    + ", ".join(names)
+                    + "; retry on a fresh transaction (replayed outcome)",
+                    names=names,
+                )
+            await self._sync_before_ack(session)
+            response = entry["response"]
+            return synthesized if response is None else response
+
+    @staticmethod
+    def _journal_hit_frame() -> dict:
+        """A result frame for a replayed commit whose original response
+        did not survive the server restart — enough for the client to
+        treat the retried statement as the success it already was."""
+        return {
+            "kind": "update",
+            "level": 1,
+            "name": None,
+            "type": None,
+            "value": "<already committed; outcome replayed from the commit journal>",
+            "term": None,
+            "translated_term": None,
+            "translated_target": None,
+            "translated_source": None,
+            "fired": [],
+            "timings": {},
+            "metrics": None,
+            "rule_trace": None,
+            "journal_hit": True,
+        }
+
     async def _op_run_one(self, session, request):
+        token = request.get("token")
+        replay = await self._claim_token(
+            session, token, self._journal_hit_frame()
+        )
+        if replay is not _MISS:
+            return replay
         recorder = SpanRecorder() if request.get("trace") else None
         start = time.perf_counter()
-        result = await asyncio.to_thread(
-            session.run_one, request["source"], sync=False, recorder=recorder
-        )
+        try:
+            result = await asyncio.to_thread(
+                session.run_one,
+                request["source"],
+                sync=False,
+                recorder=recorder,
+                token=token,
+            )
+        except BaseException:
+            # No commit outcome to journal (statement error, closed
+            # session, injected crash): release the claim so a retry can
+            # execute for real.  A recorded conflict is not pending and
+            # survives this.
+            self.engine.journal.abandon(token)
+            raise
         if result.kind != "query":
             await self._sync_before_ack(session)
+        else:
+            self.engine.journal.abandon(token)  # queries have no outcome
         elapsed = time.perf_counter() - start
         self._account_statement(session, request["source"], result, elapsed)
-        fault_point("server.ack")
         frame = encode_result(result)
         if recorder is not None:
             frame["server_spans"] = recorder.events
             frame["server_elapsed"] = recorder.elapsed()
+        # Remember the committed answer *before* the acknowledgement can
+        # be lost, so a retried request returns it verbatim.
+        self.engine.journal.attach_response(token, frame)
+        fault_point("server.ack")
         return frame
 
     async def _op_run(self, session, request):
+        atomic = bool(request.get("atomic", False))
+        token = request.get("token") if atomic else None
+        replay = await self._claim_token(
+            session, token, [self._journal_hit_frame()]
+        )
+        if replay is not _MISS:
+            return replay
         recorder = SpanRecorder() if request.get("trace") else None
         start = time.perf_counter()
-        results = await asyncio.to_thread(
-            session.run,
-            request["source"],
-            bool(request.get("atomic", False)),
-            sync=False,
-            recorder=recorder,
-        )
+        try:
+            results = await asyncio.to_thread(
+                session.run,
+                request["source"],
+                atomic,
+                sync=False,
+                recorder=recorder,
+                token=token,
+            )
+        except BaseException:
+            self.engine.journal.abandon(token)
+            raise
         if any(r.kind != "query" for r in results):
             await self._sync_before_ack(session)
+        else:
+            self.engine.journal.abandon(token)
         elapsed = time.perf_counter() - start
         self._account_program(session, request["source"], results, elapsed)
-        fault_point("server.ack")
         frames = [encode_result(r) for r in results]
         if recorder is None:
+            self.engine.journal.attach_response(token, frames)
+            fault_point("server.ack")
             return frames
-        return {
+        response = {
             "results": frames,
             "server_spans": recorder.events,
             "server_elapsed": recorder.elapsed(),
         }
+        self.engine.journal.attach_response(token, response)
+        fault_point("server.ack")
+        return response
 
     async def _op_begin(self, session, request):
         session.begin()
         return None
 
     async def _op_commit(self, session, request):
+        token = request.get("token")
+        replay = await self._claim_token(session, token, None)
+        if replay is not _MISS:
+            return replay
         recorder = SpanRecorder() if request.get("trace") else None
-        await asyncio.to_thread(session.commit, sync=False, recorder=recorder)
+        try:
+            await asyncio.to_thread(
+                session.commit, sync=False, recorder=recorder, token=token
+            )
+        except BaseException:
+            self.engine.journal.abandon(token)
+            raise
         if self.engine.durable:
             await self.batcher.sync()
-        fault_point("server.ack")
         if recorder is None:
+            fault_point("server.ack")
             return None
-        return {
+        response = {
             "server_spans": recorder.events,
             "server_elapsed": recorder.elapsed(),
         }
+        self.engine.journal.attach_response(token, response)
+        fault_point("server.ack")
+        return response
+
+    async def _op_txn_status(self, session, request):
+        """Resolve a commit whose acknowledgement was lost: the state of
+        the idempotency token — ``committed``, ``conflict``, or
+        ``unknown`` (never committed; safe to replay and retry)."""
+        outcome = self.engine.journal.outcome(request.get("token"))
+        return {"state": outcome if outcome is not None else "unknown"}
 
     async def _op_rollback(self, session, request):
         session.rollback()
@@ -527,26 +769,59 @@ async def serve(
     metrics_port: Optional[int] = None,
     slow_query_ms: Optional[float] = None,
     slow_query_log: Optional[str] = None,
+    max_connections: Optional[int] = None,
+    statement_timeout_ms: Optional[float] = None,
     ready: Optional[threading.Event] = None,
 ) -> None:
-    """Run a server until cancelled (the ``python -m repro serve`` body)."""
+    """Run a server until cancelled (the ``python -m repro serve`` body).
+
+    SIGTERM triggers a graceful drain: stop admitting work, finish
+    in-flight commits durably, roll back idle transactions, flush the WAL,
+    and return cleanly (exit code 0) — new connections meanwhile get a
+    retryable busy error.
+    """
     server = SOSServer(
         data_dir=data_dir,
         group_commit=group_commit,
         checkpoint_interval=checkpoint_interval,
         slow_query_ms=slow_query_ms,
         slow_query_log=slow_query_log,
+        max_connections=max_connections,
+        statement_timeout_ms=statement_timeout_ms,
     )
     bound = await server.start(host, port)
     print(f"repro server listening on {bound[0]}:{bound[1]}", flush=True)
     if metrics_port is not None:
         mhost, mport = await server.start_metrics(host, metrics_port)
         print(f"metrics exposition on http://{mhost}:{mport}/metrics", flush=True)
+    terminated = asyncio.Event()
+    loop = asyncio.get_running_loop()
+    try:
+        loop.add_signal_handler(signal.SIGTERM, terminated.set)
+    except (NotImplementedError, RuntimeError):
+        pass  # platform without loop signal handlers; Ctrl-C still works
     if ready is not None:
         ready.set()
     try:
-        await server.serve_forever()
+        forever = asyncio.ensure_future(server.serve_forever())
+        stop_wait = asyncio.ensure_future(terminated.wait())
+        await asyncio.wait(
+            {forever, stop_wait}, return_when=asyncio.FIRST_COMPLETED
+        )
+        if terminated.is_set():
+            elapsed = await server.drain()
+            print(
+                f"repro server drained in {elapsed:.3f}s; shutting down",
+                flush=True,
+            )
+        for task in (forever, stop_wait):
+            task.cancel()
+        await asyncio.gather(forever, stop_wait, return_exceptions=True)
     finally:
+        try:
+            loop.remove_signal_handler(signal.SIGTERM)
+        except (NotImplementedError, RuntimeError, ValueError):
+            pass
         await server.stop()
 
 
@@ -573,6 +848,13 @@ class ServerHandle:
         if self.metrics_port is None:
             return None
         return f"http://{self.metrics_host}:{self.metrics_port}/metrics"
+
+    def drain(self, timeout: float = 10.0) -> float:
+        """Run the server's graceful drain from the caller's thread;
+        returns the drain duration in seconds."""
+        return asyncio.run_coroutine_threadsafe(
+            self.server.drain(timeout=timeout), self._loop
+        ).result(timeout=timeout + 5)
 
     def stop(self) -> None:
         if self._stopped:
@@ -603,6 +885,8 @@ def start_server(
     metrics_port: Optional[int] = None,
     slow_query_ms: Optional[float] = None,
     slow_query_log: Optional[str] = None,
+    max_connections: Optional[int] = None,
+    statement_timeout_ms: Optional[float] = None,
 ) -> ServerHandle:
     """Start a server on a background thread; ``port=0`` picks a free port.
     Returns a :class:`ServerHandle` whose ``address`` is a ready-to-use
@@ -616,6 +900,8 @@ def start_server(
         allow_reset=allow_reset,
         slow_query_ms=slow_query_ms,
         slow_query_log=slow_query_log,
+        max_connections=max_connections,
+        statement_timeout_ms=statement_timeout_ms,
     )
     started: dict = {}
     ready = threading.Event()

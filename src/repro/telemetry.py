@@ -298,6 +298,11 @@ def render_top(
         f"groupcommit batches {total('group_commit.batches'):>4.0f}"
         f"   commits     {total('group_commit.synced'):>8.0f}"
         f"   mean batch {_mean_batch(counters):>7.2f}",
+        f"resilience retries {_retry_total(counters):>5.0f}"
+        f"   reconnects  {total('client.reconnects'):>8.0f}"
+        f"   journal hits {total('mvcc.journal_hits'):>5.0f}"
+        f"   timeouts  {total('server.statement_timeouts'):>6.0f}"
+        f"   rejected {total('server.rejected_connections'):>5.0f}",
     ]
     for name, label in (
         ("server.statement_seconds", "statement"),
@@ -313,6 +318,13 @@ def render_top(
                 f"   n {stats['count']:>6.0f}"
             )
     return "\n".join(lines) + "\n"
+
+
+def _retry_total(counters: dict) -> float:
+    return sum(
+        counters.get(f"client.retries.{kind}", 0)
+        for kind in ("transport", "conflict", "busy")
+    )
 
 
 def _mean_batch(counters: dict) -> float:

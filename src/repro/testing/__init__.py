@@ -18,9 +18,13 @@ from repro.testing.faults import (
     fault_point,
     inject,
 )
+from repro.testing.netchaos import CHAOS_SITES, ChaosPlan, ChaosProxy
 from repro.testing.state import database_fingerprint, value_fingerprint
 
 __all__ = [
+    "CHAOS_SITES",
+    "ChaosPlan",
+    "ChaosProxy",
     "FAULT_SITES",
     "MVCC_FAULT_SITES",
     "WAL_FAULT_SITES",

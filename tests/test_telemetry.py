@@ -381,7 +381,10 @@ class TestExposition:
         before = _parse_exposition(text_before)
 
         def client(i: int) -> None:
-            db = connect(telemetry_handle.address)
+            # Concurrent `update rep := insert(...)` statements can lose
+            # the first-committer-wins race; the retry DSN turns those
+            # losses into client-side retries instead of thread crashes.
+            db = connect(telemetry_handle.address + "?retries=8&backoff_ms=20")
             try:
                 db.run(
                     f"type t{i} = tuple(<(k, int)>)\n"
