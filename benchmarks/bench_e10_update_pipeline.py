@@ -8,7 +8,6 @@ microsecond-scale structure operation — the price of full genericity, paid
 once per statement, not per tuple.
 """
 
-import pytest
 
 from repro.geometry import Point
 from repro.models.relational import make_tuple

@@ -220,6 +220,50 @@ def bench_trace_overhead(smoke: bool) -> dict:
     return entry
 
 
+def bench_precheck_overhead(smoke: bool) -> dict:
+    """Static-analysis precheck cost on a diagnostic-free query: one
+    session runs plain, a second runs with ``precheck="warn"`` so every
+    statement is linted before it executes.  The gated counter pins the
+    lint verdict (zero diagnostics on the clean statement); the timing
+    ratio is machine-dependent and lands in ``info``."""
+    from repro.api import connect
+
+    rows = 60 if smoke else 400
+    schema = (
+        "type city = tuple(<(cname, string), (pop, int)>)\n"
+        "create cities : rel(city)\n"
+        "create cities_rep : btree(city, pop, int)\n"
+        "update rep := insert(rep, cities, cities_rep)\n"
+    )
+    inserts = "".join(
+        f'update cities := insert(cities, mktuple[<(cname, "c{i}"), (pop, {1000 + i})>])\n'
+        for i in range(rows)
+    )
+    text = "query cities select[pop >= 1000]"
+    rounds = 10 if smoke else 40
+
+    plain = connect()
+    plain.run(schema + inserts, atomic=True)
+    plain.run_one("analyze cities")
+    checked = connect(precheck="warn")
+    checked.run(schema + inserts, atomic=True)
+    checked.run_one("analyze cities")
+
+    plain.run_one(text)  # warm both sessions before measuring
+    checked.run_one(text)
+    off = _times(lambda: plain.run_one(text), rounds)
+    on = _times(lambda: checked.run_one(text), rounds)
+
+    entry = _summarize(off)
+    ratio = statistics.median(on) / max(statistics.median(off), 1e-9)
+    entry["counters"] = {
+        "rows": len(plain.run_one(text).value),
+        "diagnostics": len(checked.check(text)),
+    }
+    entry["info"] = {"prechecked_over_plain": round(ratio, 3)}
+    return entry
+
+
 # ---------------------------------------------------------------------------
 # Durability suite: WAL-logged workloads and recovery
 # ---------------------------------------------------------------------------
@@ -586,6 +630,7 @@ BENCHMARKS = {
     "equijoin_stats": bench_equijoin_stats,
     "analyze": bench_analyze,
     "trace_overhead": bench_trace_overhead,
+    "precheck_overhead": bench_precheck_overhead,
 }
 
 DURABILITY_BENCHMARKS = {

@@ -12,8 +12,11 @@ Usage::
     python -m repro --data-dir DIR ...   # durable database (WAL + recovery)
     python -m repro --group-commit N ... # fsync every Nth commit (with --data-dir)
     python -m repro lint                 # static analysis of bundled models + rules
-    python -m repro lint --strict        # exit nonzero on error diagnostics
+    python -m repro lint --strict        # also fail (exit 2) on warnings
     python -m repro lint --json F.sos    # lint spec files, JSON report
+    python -m repro lint --program F.sos # static program analysis (PRG codes)
+    python -m repro lint --self          # engine concurrency self-lint (ENG codes)
+    python -m repro lint --codes         # print the diagnostic-code registry
     python -m repro serve --data-dir DIR # multi-session server (MVCC + group commit)
     python -m repro serve --metrics-port P --slow-query-ms MS  # telemetry endpoints
     python -m repro top repro://H:P      # live terminal monitor over a server
@@ -355,35 +358,108 @@ def _take_option(argv: list[str], name: str) -> tuple[str | None, list[str], boo
     return value, argv[:index] + argv[index + 2 :], True
 
 
-def run_lint(argv: list[str]) -> int:
-    """``python -m repro lint [--strict] [--json] [files...]``.
+def _lint_exit(report, strict: bool) -> int:
+    """The documented exit contract: 0 = clean (info-only counts as
+    clean), 1 = warnings only, 2 = errors.  ``--strict`` promotes
+    warnings to the failing exit code."""
+    if report.errors:
+        return 2
+    if report.warnings:
+        return 2 if strict else 1
+    return 0
 
-    Without files, lints every bundled model signature, the full relational
-    system signature, and the standard rule set against it.  With files,
-    each is parsed as specification text and linted (``SOS...`` codes only).
-    ``--strict`` exits nonzero when any error-severity diagnostic remains.
+
+def _print_codes(as_json: bool) -> None:
+    """``lint --codes``: the full diagnostic-code registry."""
+    from repro.lint import CODES
+
+    if as_json:
+        import json
+
+        print(
+            json.dumps(
+                [
+                    {"code": code, "severity": severity, "summary": summary}
+                    for code, (severity, summary) in sorted(CODES.items())
+                ],
+                indent=2,
+            )
+        )
+        return
+    for code, (severity, summary) in sorted(CODES.items()):
+        print(f"{code}  {severity:<5}  {summary}")
+
+
+def run_lint(argv: list[str]) -> int:
+    """``python -m repro lint [--strict] [--json] [files...]``,
+    ``lint --program FILE [--atomic]``, ``lint --self``, ``lint --codes``.
+
+    Without other options, lints every bundled model signature, the full
+    relational system signature, and the standard rule set against it.
+    With files, each is parsed as specification text and linted
+    (``SOS...`` codes).  ``--program`` statically analyzes a whole SOS
+    program against the relational system's signature and catalog without
+    executing it (``PRG...`` codes; ``--atomic`` analyzes it as one
+    atomic transaction).  ``--self`` runs the engine concurrency
+    self-lint over the installed ``repro`` package (``ENG...`` codes).
+    ``--codes`` prints the diagnostic-code registry and exits.
+
+    Exit codes: 0 = clean, 1 = warnings only, 2 = errors (``--strict``
+    also fails on warnings), 3 = usage or I/O error.
     """
     strict = "--strict" in argv
     as_json = "--json" in argv
-    unknown = [
-        a for a in argv if a.startswith("-") and a not in ("--strict", "--json")
+    self_lint = "--self" in argv
+    codes_only = "--codes" in argv
+    atomic = "--atomic" in argv
+    argv = [
+        a
+        for a in argv
+        if a not in ("--strict", "--json", "--self", "--codes", "--atomic")
     ]
+    program, argv, ok = _take_option(argv, "--program")
+    if not ok:
+        return 3
+    unknown = [a for a in argv if a.startswith("-")]
     if unknown:
         print(f"error: unknown lint option(s): {', '.join(unknown)}",
               file=sys.stderr)
-        return 2
+        return 3
+    if codes_only:
+        _print_codes(as_json)
+        return 0
     from repro.lint import LintReport, lint_database, lint_signature, lint_spec
 
     files = [a for a in argv if not a.startswith("-")]
     report = LintReport()
-    if files:
+    if self_lint:
+        from repro.lint import lint_engine
+
+        report.extend(lint_engine())
+    elif program is not None:
+        try:
+            with open(program, "r", encoding="utf-8") as handle:
+                text = handle.read()
+        except OSError as exc:
+            print(f"error: cannot read {program}: {exc}", file=sys.stderr)
+            return 3
+        from repro.lint import lint_program
+        from repro.system.sos_system import build_relational_system
+
+        system = build_relational_system()
+        report.extend(
+            lint_program(
+                system.database, text, atomic=atomic, source=program
+            )
+        )
+    elif files:
         for path in files:
             try:
                 with open(path, "r", encoding="utf-8") as handle:
                     text = handle.read()
             except OSError as exc:
                 print(f"error: cannot read {path}: {exc}", file=sys.stderr)
-                return 2
+                return 3
             report.extend(lint_spec(text, source=path))
     else:
         from repro.models import (
@@ -412,9 +488,7 @@ def run_lint(argv: list[str]) -> int:
             )
         )
     print(report.render_json() if as_json else report.render_text())
-    if strict and not report.ok:
-        return 1
-    return 0
+    return _lint_exit(report, strict)
 
 
 def run_serve(argv: list[str]) -> int:

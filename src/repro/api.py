@@ -79,6 +79,7 @@ def connect(
     group_commit: int = 1,
     checkpoint_interval: Optional[int] = None,
     lint: Optional[str] = None,
+    precheck: Optional[str] = None,
 ) -> "Session":
     """Open a session on the database the DSN names (see the module
     docstring for the DSN forms).
@@ -125,7 +126,21 @@ def connect(
         ``"warn"`` prints them as :mod:`warnings` instead.  ``None`` (the
         default) skips the analysis; :meth:`Session.lint` runs it on
         demand.  See ``docs/STATIC_ANALYSIS.md``.
+    ``precheck``
+        statically analyze every program handed to :meth:`Session.run` /
+        :meth:`Session.run_one` (the :func:`repro.lint.lint_program`
+        pass) *before* it executes: ``"strict"`` raises
+        :class:`~repro.errors.LintError` on error-severity findings —
+        on a network session the program is rejected before any MVCC
+        transaction begins or WAL frame is written; ``"warn"`` surfaces
+        findings as :mod:`warnings` and runs the program anyway.
+        ``None`` (the default) skips the pass; :meth:`Session.check`
+        runs it on demand.  Works on every transport.
     """
+    if precheck not in (None, "strict", "warn"):
+        raise CatalogError(
+            f"precheck must be None, 'strict' or 'warn', not {precheck!r}"
+        )
     if dsn is not None and dsn.startswith("repro://"):
         for name, value in (
             ("model", model), ("optimizer", optimizer),
@@ -139,6 +154,7 @@ def connect(
         from repro.server.client import NetworkSession
 
         session = NetworkSession.open(dsn)
+        session._precheck = precheck
         if isinstance(trace, Tracer):
             # Adopt the caller's bus, exactly like a local session: its
             # subscribers see client statement spans with the server's
@@ -196,6 +212,7 @@ def connect(
         session = LocalSession(
             _system=build_relational_system(optimizer, tracer=tracer)
         )
+    session._precheck = precheck
     if callable(trace) and not isinstance(trace, Tracer):
         session.tracer.subscribe(trace)
     if trace:
@@ -228,6 +245,31 @@ def connect(
             for diagnostic in report.sorted():
                 warnings.warn(diagnostic.render(), stacklevel=2)
     return session
+
+
+def enforce_precheck(mode: Optional[str], report, source: str) -> None:
+    """Apply a session's ``precheck`` policy to a program's
+    :class:`~repro.lint.LintReport` (shared by both transports).
+
+    ``"strict"`` raises :class:`~repro.errors.LintError` when the report
+    has error-severity findings; ``"warn"`` emits one :mod:`warnings`
+    entry per error/warning finding (info stays silent) and lets the
+    program run.
+    """
+    if mode is None or not len(report):
+        return
+    if mode == "strict" and not report.ok:
+        raise LintError(
+            f"precheck rejected the program ({len(report.errors)} "
+            f"error(s)):\n{report.render_text()}",
+            report,
+        )
+    if mode == "warn":
+        import warnings
+
+        for diagnostic in report.sorted():
+            if diagnostic.severity != "info":
+                warnings.warn(diagnostic.render(), stacklevel=3)
 
 
 class Session:
@@ -277,6 +319,9 @@ class Session:
     def lint(self):
         raise NotImplementedError
 
+    def check(self, source: str, *, atomic: bool = False):
+        raise NotImplementedError
+
     def checkpoint(self) -> int:
         raise NotImplementedError
 
@@ -299,7 +344,7 @@ class LocalSession(Session):
     ``subscribe`` / ``set_feedback`` are local-only extras.
     """
 
-    __slots__ = ("_system", "_interpreter", "_tracer", "_closed")
+    __slots__ = ("_system", "_interpreter", "_tracer", "_closed", "_precheck")
 
     def __init__(self, *, _system=None, _interpreter=None, _tracer=None):
         self._system: Optional[SOSSystem] = _system
@@ -310,6 +355,7 @@ class LocalSession(Session):
             else (_tracer if _tracer is not None else Tracer())
         )
         self._closed = False
+        self._precheck: Optional[str] = None
 
     # ----------------------------------------------------------- properties
 
@@ -430,6 +476,15 @@ class LocalSession(Session):
             source=repr(self),
         )
 
+    def check(self, source: str, *, atomic: bool = False):
+        """Statically analyze a whole program against this session's
+        signature and catalog without executing it — the
+        :func:`repro.lint.lint_program` pass (``PRG...`` codes).
+        Returns the :class:`~repro.lint.LintReport`; raises nothing."""
+        from repro.lint import lint_program
+
+        return lint_program(self.database, source, atomic=atomic)
+
     # ------------------------------------------------------------ statistics
 
     def stats(self, name: str) -> dict:
@@ -446,6 +501,10 @@ class LocalSession(Session):
 
     def run(self, source: str, atomic: bool = False) -> list[SystemResult]:
         """Process a program; one :class:`SystemResult` per statement."""
+        if self._precheck is not None:
+            enforce_precheck(
+                self._precheck, self.check(source, atomic=atomic), source
+            )
         if self._closed and not self.durable:
             from repro.lang.parser import split_statements
 
@@ -457,6 +516,8 @@ class LocalSession(Session):
 
     def run_one(self, source: str) -> SystemResult:
         """Process exactly one statement."""
+        if self._precheck is not None:
+            enforce_precheck(self._precheck, self.check(source), source)
         self._check_mutable(source)
         if self._system is not None:
             return self._system.run_one(source)

@@ -11,7 +11,6 @@ from __future__ import annotations
 
 from typing import Iterable, Iterator, Optional, Sequence
 
-from repro.core.kinds import Kind
 from repro.core.operators import Quantifier
 from repro.core.sorts import KindSort, TypeSort, UnionSort, VarSort
 from repro.core.sos import SignatureBuilder

@@ -27,7 +27,6 @@ from repro.core.types import (
     Lit,
     ProductType,
     Sym,
-    TermArg,
     Type,
     TypeApp,
     TypeArg,

@@ -9,9 +9,18 @@ built from:
   cycles, unreachable representations, update-function laws, missing docs;
 * :func:`lint_rules` / :func:`lint_optimizer` — rewrite rules against a
   signature (``RUL001`` … ``RUL008``): unbound variables, dead rules,
-  unknown catalogs, rewrite loops, and symbolic type preservation.
+  unknown catalogs, rewrite loops, and symbolic type preservation;
+* :func:`lint_program` — whole SOS programs against a signature and
+  catalog, before execution (``PRG000`` … ``PRG008``): per-statement
+  typecheck, def-use dataflow over catalog objects, transaction effects,
+  and plan-shape warnings — the pass behind ``Session.check`` and
+  ``connect(precheck=...)``;
+* :func:`lint_engine` — the project's own concurrency discipline over
+  ``src/repro`` (``ENG001`` … ``ENG006``): lock coverage of MVCC shared
+  state, blocking calls under the lock or on the event loop, telemetry
+  declarations, and fault-site registration (``lint --self``).
 
-:func:`lint_database` runs both over a live database.  See
+:func:`lint_database` runs the first two over a live database.  See
 ``docs/STATIC_ANALYSIS.md`` for the code table and suppression syntax.
 """
 
@@ -26,6 +35,8 @@ from repro.lint.diagnostics import (
     LintReport,
     scan_suppressions,
 )
+from repro.lint.enginepass import lint_engine, lint_engine_source
+from repro.lint.progpass import lint_program
 from repro.lint.rulepass import lint_optimizer, lint_rules
 from repro.lint.specpass import lint_signature, lint_spec
 
@@ -65,7 +76,10 @@ __all__ = [
     "WARNING",
     "database_catalogs",
     "lint_database",
+    "lint_engine",
+    "lint_engine_source",
     "lint_optimizer",
+    "lint_program",
     "lint_rules",
     "lint_signature",
     "lint_spec",

@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import json
 import re
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterable, Iterator, Optional
 
 ERROR = "error"
@@ -46,6 +46,21 @@ CODES: dict[str, tuple[str, str]] = {
     "RUL006": (WARNING, "rule pair rewrites A => B and B => A (direct loop)"),
     "RUL007": (INFO, "rule could not be statically analyzed"),
     "RUL008": (WARNING, "rule LHS fails the symbolic typecheck"),
+    "PRG000": (ERROR, "program statement failed to parse or typecheck"),
+    "PRG001": (ERROR, "object used before the statement that creates it"),
+    "PRG002": (ERROR, "object used after delete"),
+    "PRG003": (ERROR, "duplicate create of an existing object"),
+    "PRG004": (WARNING, "dead store: created or written value is never used"),
+    "PRG005": (WARNING, "conflicting write sets inside one atomic program"),
+    "PRG006": (WARNING, "mutations in a multi-statement program outside atomic=True"),
+    "PRG007": (WARNING, "join condition has no equatable attribute pair (cartesian blowup)"),
+    "PRG008": (INFO, "query touches a relation that was never analyzed"),
+    "ENG001": (ERROR, "MVCC shared state mutated outside the engine lock"),
+    "ENG002": (WARNING, "blocking call while holding the engine lock"),
+    "ENG003": (WARNING, "blocking or engine call on the event-loop thread"),
+    "ENG004": (ERROR, "await while holding a synchronous lock"),
+    "ENG005": (WARNING, "telemetry metric fed but never pre-declared"),
+    "ENG006": (ERROR, "fault site injected but not registered in repro.testing.faults"),
 }
 
 

@@ -14,17 +14,9 @@ from __future__ import annotations
 
 from typing import Optional
 
-from repro.core.patterns import (
-    PApp,
-    PVar,
-    TypePattern,
-    instantiate_pattern,
-    pattern_variables,
-)
-from repro.core.sorts import FunSort, KindSort, ListSort, TypeSort
+from repro.core.patterns import TypePattern, instantiate_pattern
 from repro.core.terms import Fun, Var
 from repro.core.types import (
-    Sym,
     TermArg,
     Type,
     TypeApp,

@@ -36,9 +36,6 @@ from repro.errors import ExecutionError
 from repro.models.common import (
     BOOL,
     INT,
-    add_comparisons,
-    add_logic,
-    register_atomic_carriers,
 )
 from repro.models.relational import REL_PATTERN, _check_rel, _select_impl
 

@@ -56,16 +56,9 @@ from repro.errors import ExecutionError
 from repro.testing.faults import fault_point
 from repro.models.common import (
     BOOL,
-    add_arithmetic,
-    add_comparisons,
-    add_logic,
     register_atomic_carriers,
 )
-from repro.models.spatial import (
-    add_spatial_operators,
-    add_spatial_types,
-    register_spatial_carriers,
-)
+from repro.models.spatial import register_spatial_carriers
 
 IDENT_T = TypeApp("ident")
 

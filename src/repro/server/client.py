@@ -252,6 +252,7 @@ class NetworkSession(Session):
         "_timeout",
         "_in_txn",
         "_txn_statements",
+        "_precheck",
     )
 
     def __init__(
@@ -275,6 +276,7 @@ class NetworkSession(Session):
         )
         self._in_txn = False
         self._txn_statements: list[str] = []
+        self._precheck: Optional[str] = None
 
     @classmethod
     def open(cls, dsn: str) -> "NetworkSession":
@@ -513,6 +515,14 @@ class NetworkSession(Session):
     # ------------------------------------------------------------ execution
 
     def run(self, source: str, atomic: bool = False) -> list[SystemResult]:
+        if self._precheck is not None:
+            from repro.api import enforce_precheck
+
+            # Server-side static analysis first: a rejected program never
+            # opens an MVCC transaction or writes a WAL frame.
+            enforce_precheck(
+                self._precheck, self.check(source, atomic=atomic), source
+            )
         if self._policy.retries == 0:
             return self._decode_run(
                 self._traced_request("run", source=source, atomic=atomic)
@@ -539,21 +549,26 @@ class NetworkSession(Session):
             )
         # Auto-commit program: split client-side so each chunk carries its
         # own idempotency token — a mid-program failure then retries only
-        # the chunk in flight, never an already-committed one.
+        # the chunk in flight, never an already-committed one.  The whole
+        # program was already prechecked above; don't re-check per chunk.
         results = []
-        for index, chunk in enumerate(split_statements(source)):
-            try:
-                results.append(self.run_one(chunk))
-            except StatementError as exc:
-                if exc.index is None:
-                    exc.index = index
-                if exc.source is None:
-                    exc.source = chunk
-                raise
-            except SOSError as exc:
-                raise wrap_statement_error(
-                    exc, index=index, source=chunk
-                ) from exc
+        precheck, self._precheck = self._precheck, None
+        try:
+            for index, chunk in enumerate(split_statements(source)):
+                try:
+                    results.append(self.run_one(chunk))
+                except StatementError as exc:
+                    if exc.index is None:
+                        exc.index = index
+                    if exc.source is None:
+                        exc.source = chunk
+                    raise
+                except SOSError as exc:
+                    raise wrap_statement_error(
+                        exc, index=index, source=chunk
+                    ) from exc
+        finally:
+            self._precheck = precheck
         return results
 
     @staticmethod
@@ -571,6 +586,10 @@ class NetworkSession(Session):
                 self._txn_statements.append(chunk)
 
     def run_one(self, source: str) -> SystemResult:
+        if self._precheck is not None:
+            from repro.api import enforce_precheck
+
+            enforce_precheck(self._precheck, self.check(source), source)
         if self._policy.retries == 0:
             return decode_result(
                 self._traced_request("run_one", source=source)
@@ -606,6 +625,15 @@ class NetworkSession(Session):
 
     def lint(self):
         return decode_lint_report(self._read_request("lint"))
+
+    def check(self, source: str, *, atomic: bool = False):
+        """Server-side static program analysis
+        (:func:`repro.lint.lint_program` against the committed catalog);
+        returns the :class:`~repro.lint.LintReport` without opening a
+        transaction or writing a WAL frame."""
+        return decode_lint_report(
+            self._read_request("check", source=source, atomic=atomic)
+        )
 
     def _read_request(self, op: str, **args):
         if self._policy.retries == 0:

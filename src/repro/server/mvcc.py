@@ -368,6 +368,8 @@ class MVCCEngine:
             return txn
 
     def _bump(self, name: str) -> None:
+        # lint: disable=ENG001 -- audited: every caller already holds
+        # self._lock (begin/commit/rollback critical sections).
         self.metrics[name] = self.metrics.get(name, 0) + 1
         if observe.ENABLED:
             observe.incr(name)
@@ -378,6 +380,8 @@ class MVCCEngine:
     def _transaction_closed(self) -> None:
         """A transaction left the ``active`` state (commit, conflict, or
         rollback) — maintain the open-transaction gauge."""
+        # lint: disable=ENG001 -- audited: only called from commit/rollback
+        # paths that hold self._lock.
         self.open_transactions -= 1
         if telemetry.ENABLED:
             telemetry.gauge("mvcc.open_transactions", self.open_transactions)
@@ -480,6 +484,8 @@ class MVCCEngine:
         """Swap ``txn``'s workspace into the shared database (by content —
         the parser and typechecker hold live references to the dicts)."""
         db = self.database
+        # lint: disable=ENG001 -- audited: workspace install/extract runs
+        # only inside run/commit critical sections that hold self._lock.
         self._saved = (dict(db.aliases), dict(db.objects), db.stats.snapshot())
         db.aliases.clear()
         db.aliases.update(txn.aliases)
@@ -497,6 +503,7 @@ class MVCCEngine:
         txn.objects = dict(db.objects)
         txn.stats = db.stats.snapshot()
         aliases, objects, stats = self._saved
+        # lint: disable=ENG001 -- audited: see _install; lock held by caller.
         self._saved = None
         db.aliases.clear()
         db.aliases.update(aliases)
@@ -588,6 +595,9 @@ class MVCCEngine:
                     for seq in seqs:
                         dur.commit(seq, token=token if seq == seqs[-1] else None)
                     if sync:
+                        # lint: disable=ENG002 -- audited: a synchronous
+                        # commit must fsync inside the critical section so
+                        # the durable order matches the commit order.
                         dur.flush()
                 txn.state = "committed"
                 self._transaction_closed()
@@ -602,20 +612,22 @@ class MVCCEngine:
         self, txn, obj_writes, obj_drops, alias_writes, alias_drops
     ) -> None:
         db = self.database
-        self.commit_version += 1
+        # Audited ENG001 sites: _publish is called from exactly one place,
+        # inside commit()'s `with self._lock` critical section.
+        self.commit_version += 1  # lint: disable=ENG001 -- lock held by commit()
         version = self.commit_version
         for name, obj in obj_writes.items():
             db.objects[name] = obj
-            self.versions[name] = version
+            self.versions[name] = version  # lint: disable=ENG001 -- lock held by commit()
         for name in obj_drops:
             db.objects.pop(name, None)
-            self.versions[name] = version
+            self.versions[name] = version  # lint: disable=ENG001 -- lock held by commit()
         for name, t in alias_writes.items():
             db.aliases[name] = t
-            self.alias_versions[name] = version
+            self.alias_versions[name] = version  # lint: disable=ENG001 -- lock held by commit()
         for name in alias_drops:
             db.aliases.pop(name, None)
-            self.alias_versions[name] = version
+            self.alias_versions[name] = version  # lint: disable=ENG001 -- lock held by commit()
         # Statistics entries are immutable copy-on-write values; publish the
         # changed ones without conflict checks (metadata: last writer wins).
         for name, entry in txn.stats.items():
@@ -636,6 +648,9 @@ class MVCCEngine:
         """Fsync any commit records still pending under group commit."""
         with self._lock:
             if self.durability is not None:
+                # lint: disable=ENG002 -- audited: group-commit drain is
+                # the one fsync that must serialize with commits; the
+                # batcher amortizes it across sessions.
                 self.durability.flush()
 
     # ------------------------------------------------------------ store-wide
@@ -656,6 +671,16 @@ class MVCCEngine:
             return lint_database(
                 self.database, self.system.optimizer, source=repr(self)
             )
+
+    def check(self, source: str, atomic: bool = False):
+        """Statically analyze a program against the committed catalog
+        (:func:`repro.lint.lint_program`) — no transaction is opened, no
+        WAL frame is written; the lock only pins a consistent catalog."""
+        from repro.lint import lint_program
+
+        with self._lock:
+            self._require_open()
+            return lint_program(self.database, source, atomic=atomic)
 
     def dump(self) -> str:
         from repro.system.dump import dump_program

@@ -259,6 +259,8 @@ class SOSServer:
             task.cancel()
         if self._handlers:
             await asyncio.gather(*self._handlers, return_exceptions=True)
+        # lint: disable=ENG003 -- audited: stop() runs after every handler
+        # task has finished; there are no connections left to stall.
         self.engine.close()
         if self._slow_log_file is not None:
             self._slow_log_file.close()
@@ -326,6 +328,8 @@ class SOSServer:
         task = asyncio.current_task()
         if task is not None:
             self._handlers.add(task)
+        # lint: disable=ENG003 -- audited: session() is lock-protected
+        # bookkeeping (allocates an id), not statement execution.
         session = self.engine.session()
         self._live_sessions.add(session)
         try:
@@ -663,6 +667,16 @@ class SOSServer:
 
     async def _op_lint(self, session, request):
         report = await asyncio.to_thread(self.engine.lint)
+        return encode_lint_report(report)
+
+    async def _op_check(self, session, request):
+        # Program precheck: pure analysis against the committed catalog —
+        # it never opens an MVCC transaction or touches the WAL.
+        report = await asyncio.to_thread(
+            self.engine.check,
+            request["source"],
+            bool(request.get("atomic", False)),
+        )
         return encode_lint_report(report)
 
     async def _op_checkpoint(self, session, request):

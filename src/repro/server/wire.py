@@ -20,7 +20,6 @@ relational signature — the one signature both endpoints share.
 from __future__ import annotations
 
 import threading
-from typing import Optional
 
 from repro import errors as _errors
 from repro.core.algebra import Closure, Relation, Stream, TupleValue
@@ -289,8 +288,10 @@ def decode_lint_report(data: dict):
                 code=d["code"],
                 message=d["message"],
                 severity=d["severity"],
-                source=d.get("source"),
-                subject=d.get("subject"),
+                # `or ""` keeps the round trip identical: Diagnostic's
+                # empty-string defaults must not come back as None.
+                source=d.get("source") or "",
+                subject=d.get("subject") or "",
                 line=d.get("line"),
                 column=d.get("column"),
             )

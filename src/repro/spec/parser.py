@@ -28,7 +28,6 @@ from dataclasses import replace
 from typing import Callable, Mapping, Optional
 
 from repro.core.constructors import ConstructorSpec
-from repro.core.kinds import Kind
 from repro.core.operators import Quantifier, TypeOperator
 from repro.core.patterns import PApp, PVar, TypePattern
 from repro.core.sorts import (

@@ -34,7 +34,7 @@ from typing import TYPE_CHECKING, Iterator, Optional
 from repro.core.terms import Apply, Call, Fun, ListTerm, ObjRef, Term, TupleTerm, Var
 
 if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
-    from repro.catalog.database import Database, DatabaseObject
+    from repro.catalog.database import Database
 
 
 # ---------------------------------------------------------------------------

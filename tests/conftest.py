@@ -8,7 +8,7 @@ import pytest
 
 from repro.api import connect
 from repro.core.types import TypeApp, rel_type, tuple_type
-from repro.models.relational import make_relation, make_tuple, relational_model
+from repro.models.relational import make_relation, relational_model
 
 INT = TypeApp("int")
 STRING = TypeApp("string")

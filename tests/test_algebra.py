@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.core.algebra import Closure, Evaluator, Relation, Stream, TupleValue
+from repro.core.algebra import Closure, Evaluator, Stream, TupleValue
 from repro.core.terms import Apply, Fun, ListTerm, Literal, TupleTerm, Var
 from repro.core.typecheck import TypeChecker
 from repro.core.types import FunType, ProductType, TypeApp, rel_type, tuple_type

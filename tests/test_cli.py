@@ -300,14 +300,14 @@ class TestLintCommand:
         path = tmp_path / "bad.sos"
         path.write_text(self.BAD_SPEC)
         result = run_cli(["lint", "--strict", str(path)])
-        assert result.returncode == 1
+        assert result.returncode == 2
         assert f"{path}:11:9: error: SOS006 [pair]:" in result.stdout
 
-    def test_without_strict_errors_do_not_fail(self, tmp_path):
+    def test_errors_fail_without_strict_too(self, tmp_path):
         path = tmp_path / "bad.sos"
         path.write_text(self.BAD_SPEC)
         result = run_cli(["lint", str(path)])
-        assert result.returncode == 0
+        assert result.returncode == 2
         assert "SOS006" in result.stdout
 
     def test_json_output(self, tmp_path):
@@ -335,10 +335,71 @@ class TestLintCommand:
 
     def test_unreadable_file(self, tmp_path):
         result = run_cli(["lint", str(tmp_path / "missing.sos")])
-        assert result.returncode == 2
+        assert result.returncode == 3
         assert "cannot read" in result.stderr
 
     def test_unknown_option(self):
         result = run_cli(["lint", "--bogus"])
-        assert result.returncode == 2
+        assert result.returncode == 3
         assert "unknown lint option" in result.stderr
+
+    def test_warnings_only_exit_code(self, tmp_path):
+        # SOS010 (missing docs) is info; SOS003 (shadowed signature) warns.
+        path = tmp_path / "warn.sos"
+        path.write_text(
+            textwrap.dedent(
+                """\
+                kinds IDENT, DATA
+
+                type constructors
+                    -> DATA    int
+
+                operators
+                    int x int -> int    plus    syntax _ + _
+                    int x int -> int    plus    syntax _ + _
+                """
+            )
+        )
+        result = run_cli(["lint", str(path)])
+        assert result.returncode in (1, 2)
+        if result.returncode == 1:
+            # warnings-only: --strict must promote to the failing code
+            strict = run_cli(["lint", "--strict", str(path)])
+            assert strict.returncode == 2
+
+    def test_codes_registry(self):
+        result = run_cli(["lint", "--codes"])
+        assert result.returncode == 0
+        for code in ("SOS001", "RUL001", "PRG001", "ENG001"):
+            assert code in result.stdout
+
+    def test_codes_registry_json(self):
+        import json
+
+        result = run_cli(["lint", "--codes", "--json"])
+        payload = json.loads(result.stdout)
+        codes = {entry["code"] for entry in payload}
+        from repro.lint import CODES
+
+        assert codes == set(CODES)
+
+    def test_program_lint_bad_program(self, tmp_path):
+        path = tmp_path / "prog.sos"
+        path.write_text("query nonexistent\n")
+        result = run_cli(["lint", "--program", str(path)])
+        assert result.returncode == 2
+        assert "PRG000" in result.stdout
+
+    def test_program_lint_clean_program(self, tmp_path):
+        path = tmp_path / "prog.sos"
+        path.write_text(
+            "create r : rel(tuple(<(a, int)>))\n"
+            "analyze r\n"
+            "query r\n"
+        )
+        result = run_cli(["lint", "--program", str(path), "--atomic"])
+        assert result.returncode == 0, result.stdout
+
+    def test_self_lint_clean(self):
+        result = run_cli(["lint", "--self"])
+        assert result.returncode == 0, result.stdout

@@ -4,7 +4,7 @@ import pytest
 
 from repro.core.patterns import PApp, PVar
 from repro.core.terms import Apply, Var
-from repro.core.types import Sym, TypeApp, rel_type, tuple_type
+from repro.core.types import Sym, TypeApp, tuple_type
 from repro.optimizer.conditions import (
     CatalogCondition,
     FunCondition,

@@ -7,13 +7,11 @@ from repro.core.kinds import Kind
 from repro.core.signature import TypeSystem
 from repro.core.sorts import (
     BindSort,
-    FunSort,
     KindSort,
     ListSort,
     ProductSort,
     TypeSort,
     UnionSort,
-    VarSort,
 )
 from repro.core.types import ArgList, ArgTuple, Lit, Sym, TypeApp, tuple_type
 from repro.errors import KindError, SpecificationError, TypeFormationError

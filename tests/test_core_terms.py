@@ -6,8 +6,6 @@ from repro.core.terms import (
     Fun,
     ListTerm,
     Literal,
-    ObjRef,
-    OpRef,
     TupleTerm,
     Var,
     clone_term,

@@ -5,7 +5,6 @@ import pytest
 from repro.core.terms import Fun, Var
 from repro.core.types import (
     ArgList,
-    ArgTuple,
     FunType,
     Lit,
     ProductType,

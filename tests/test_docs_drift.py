@@ -1,0 +1,43 @@
+"""The code tables in docs/STATIC_ANALYSIS.md must match the registry
+behind ``python -m repro lint --codes`` — same codes, same severities.
+CI runs this as part of the lint gate, so the document cannot drift.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import re
+
+from repro.lint.diagnostics import CODES
+
+DOC = pathlib.Path(__file__).resolve().parent.parent / "docs" / "STATIC_ANALYSIS.md"
+
+ROW = re.compile(r"^\|\s*([A-Z]{3}\d{3})\s*\|\s*(error|warn|info)\s*\|")
+
+
+def documented() -> dict[str, str]:
+    rows = {}
+    for line in DOC.read_text().splitlines():
+        m = ROW.match(line)
+        if m:
+            rows[m.group(1)] = m.group(2)
+    return rows
+
+
+def test_every_registered_code_is_documented():
+    missing = sorted(set(CODES) - set(documented()))
+    assert missing == [], f"codes missing from docs/STATIC_ANALYSIS.md: {missing}"
+
+
+def test_no_documented_code_is_unregistered():
+    stale = sorted(set(documented()) - set(CODES))
+    assert stale == [], f"docs table lists unknown codes: {stale}"
+
+
+def test_documented_severities_match_registry():
+    mismatches = {
+        code: (sev, CODES[code][0])
+        for code, sev in documented().items()
+        if code in CODES and sev != CODES[code][0]
+    }
+    assert mismatches == {}, f"severity drift (docs, registry): {mismatches}"

@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.errors import UpdateError
 
 
 class TestExplain:

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.errors import ParseError
-from repro.lang.lexer import Token, tokenize
+from repro.lang.lexer import tokenize
 
 
 def kinds(text):

@@ -18,7 +18,7 @@ from repro.core.terms import (
     same_term,
 )
 from repro.core.typecheck import TypeChecker
-from repro.core.types import FunType, Sym, TypeApp, rel_type, tuple_type
+from repro.core.types import FunType, TypeApp, rel_type, tuple_type
 from repro.errors import ParseError
 from repro.lang.parser import (
     CreateStmt,

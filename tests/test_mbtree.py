@@ -8,7 +8,7 @@ of space; this is that definition, and its tests.
 
 import pytest
 
-from repro.core.types import ArgList, ArgTuple, Sym, TypeApp
+from repro.core.types import TypeApp
 from repro.errors import NoMatchingOperator, TypeFormationError
 from repro.storage import BTree
 from repro.storage.io import PageManager

@@ -2,9 +2,9 @@
 
 import pytest
 
-from repro.core.algebra import Evaluator, Relation
+from repro.core.algebra import Evaluator
 from repro.core.typecheck import TypeChecker
-from repro.core.terms import Apply, Fun, ListTerm, Literal, TupleTerm, Var
+from repro.core.terms import Apply, ListTerm, Literal, TupleTerm, Var
 from repro.core.types import TypeApp, format_type, rel_type, tuple_type
 from repro.errors import TypeFormationError
 from repro.models.relational import make_relation, make_tuple, relational_model

@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.core.patterns import PApp, PVar
 from repro.core.terms import Apply, Literal, Var
 from repro.errors import OptimizationError
 from repro.optimizer.engine import Optimizer, OptimizerStep

@@ -14,7 +14,6 @@ from repro.optimizer.termmatch import (
     instantiate,
     match_pattern,
 )
-from repro.core.types import Sym
 
 INT = TypeApp("int")
 STRING = TypeApp("string")

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.core.terms import Apply, Fun, Var, format_term, walk_terms
+from repro.core.terms import Apply, format_term, walk_terms
 from repro.errors import OptimizationError
 
 

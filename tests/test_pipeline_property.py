@@ -6,7 +6,6 @@ parse → typecheck → evaluate stack, and compared against a direct Python
 evaluation of the same pipeline.
 """
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

@@ -4,7 +4,6 @@ the generic interpreter really is model-independent."""
 import pytest
 
 from repro.catalog import Database
-from repro.core.algebra import SecondOrderAlgebra
 from repro.lang import Interpreter
 from repro.models.complex_objects import complex_object_model
 from repro.models.nested import nested_relational_model

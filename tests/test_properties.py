@@ -6,12 +6,11 @@ translated representation plans with a Python reference implementation, and
 stability of parse/print round trips.
 """
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.core.algebra import Evaluator
-from repro.core.terms import Apply, Fun, ListTerm, Literal, Var, same_term
+from repro.core.terms import Apply, ListTerm, Literal, Var, same_term
 from repro.core.typecheck import TypeChecker
 from repro.core.types import TypeApp, rel_type, tuple_type
 from repro.models.relational import make_relation, relational_model

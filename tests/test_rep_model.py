@@ -7,9 +7,9 @@ from repro.core.terms import Apply, Fun, ListTerm, Literal, TupleTerm, Var
 from repro.core.typecheck import TypeChecker
 from repro.core.types import Sym, TermArg, TypeApp, format_type, tuple_type
 from repro.errors import NoMatchingOperator, TypeFormationError
-from repro.geometry import Point, Polygon, Rect
+from repro.geometry import Point, Polygon
 from repro.models.relational import make_tuple
-from repro.rep.model import representation_model, structure_key, tuple_attr_getter
+from repro.rep.model import representation_model, tuple_attr_getter
 from repro.storage import BTree, LSDTree
 
 INT = TypeApp("int")
@@ -270,7 +270,6 @@ class TestSearchJoin:
         scan_plan = self._plan(
             tc, Apply("filter", (Apply("feed", (Var("states_rep"),)), pred))
         )
-        from repro.core.terms import clone_term
 
         pred2 = Fun(
             (("s", STATE),),

@@ -13,10 +13,8 @@ from repro.core.sorts import (
     AppSort,
     BindSort,
     FunSort,
-    KindSort,
     ListSort,
     ProductSort,
-    TypeSort,
     UnionSort,
     VarSort,
 )

@@ -4,7 +4,7 @@ import pytest
 
 from repro.core.types import TypeApp, rel_type, tuple_type
 from repro.errors import CatalogError, OptimizationError
-from repro.system import build_model_interpreter, build_relational_system
+from repro.system import build_model_interpreter
 
 INT = TypeApp("int")
 

@@ -2,11 +2,10 @@
 
 import pytest
 
-from repro.core.terms import Apply, Call, Fun, ListTerm, Literal, TupleTerm, Var
+from repro.core.terms import Apply, Call, Fun, ListTerm, Literal, Var
 from repro.core.typecheck import TypeChecker
 from repro.core.types import (
     FunType,
-    Sym,
     TypeApp,
     format_type,
     rel_type,

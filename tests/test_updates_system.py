@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.core.terms import format_term
 from repro.errors import OptimizationError
 from repro.system import build_relational_system
 
